@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 3: analytic scaling factors alpha_2 for Partition 2 as a
+ * function of its size fraction S2 (0.20..0.40) and insertion rate
+ * I2 (0.6, 0.7, 0.8, 0.9), with R = 16 candidates (Equation 1).
+ *
+ * Expected shape: alpha_2 grows as I2 rises and as S2 shrinks; the
+ * steepest curve (I2 = 0.9) approaches ~2.8 at S2 = 0.2.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace fscache;
+
+int
+main()
+{
+    bench::banner("Figure 3",
+                  "FS scaling factors vs size fraction and "
+                  "insertion rate (Equation 1, R = 16)");
+
+    constexpr std::uint32_t kR = 16;
+    const std::vector<double> i2_values{0.6, 0.7, 0.8, 0.9};
+
+    TablePrinter table({"S2", "alpha2(I2=0.6)", "alpha2(I2=0.7)",
+                        "alpha2(I2=0.8)", "alpha2(I2=0.9)"});
+    for (double s2 = 0.20; s2 <= 0.401; s2 += 0.025) {
+        std::vector<std::string> row{TablePrinter::num(s2, 3)};
+        for (double i2 : i2_values) {
+            double alpha = analytic::scalingFactorTwoPart(
+                1.0 - s2, 1.0 - i2, kR);
+            row.push_back(TablePrinter::num(alpha, 4));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+
+    bench::section("Multi-partition generalization (extended "
+                   "version; numeric solver)");
+    std::printf("Four partitions, equal sizes, skewed insertion "
+                "rates: the scaling factor grows with the I/S "
+                "ratio, independent of N.\n");
+    {
+        std::vector<analytic::PartitionSpec> parts{{0.25, 0.10},
+                                                   {0.25, 0.20},
+                                                   {0.25, 0.30},
+                                                   {0.25, 0.40}};
+        auto alphas = analytic::solveScalingFactors(parts, kR);
+        auto shares = analytic::evictionShares(parts, alphas, kR);
+        TablePrinter multi({"partition", "S", "I", "alpha",
+                            "E (check)", "analytic AEF"});
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            multi.addRow(
+                {strprintf("%zu", i),
+                 TablePrinter::num(parts[i].size, 2),
+                 TablePrinter::num(parts[i].insertion, 2),
+                 TablePrinter::num(alphas[i], 4),
+                 TablePrinter::num(shares[i], 4),
+                 TablePrinter::num(
+                     analytic::fsAef(parts, alphas, kR, i), 3)});
+        }
+        multi.print(std::cout);
+    }
+
+    bench::section("Partitioning bound (Section IV.B)");
+    std::printf("A partition with insertion fraction I can hold at "
+                "most S = I^(1/R) of the cache.\n");
+    TablePrinter bound({"I1", "max S1 (R=16)"});
+    for (double i1 : {0.001, 0.01, 0.1, 0.5}) {
+        bound.addRow({TablePrinter::num(i1, 3),
+                      TablePrinter::num(std::pow(i1, 1.0 / kR), 3)});
+    }
+    bound.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Microbenchmark: software cost of one replacement decision per
+ * scheme (google-benchmark).
+ *
+ * The paper argues FS needs only 3R-1 simple operations (R
+ * subtractions, R shifts, R-1 comparisons) off the critical path;
+ * in software all replacement-based schemes should be a handful of
+ * nanoseconds per decision, and a full miss (lookup + ranking +
+ * decision + bookkeeping) tens to hundreds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fscache.hh"
+
+using namespace fscache;
+
+namespace
+{
+
+/** Fixed-size candidate list with a spread of futilities. */
+CandidateVec
+makeCandidates(std::uint32_t r, std::uint32_t parts)
+{
+    CandidateVec cands;
+    Rng rng(7);
+    for (std::uint32_t i = 0; i < r; ++i) {
+        Candidate c;
+        c.line = i;
+        c.part = static_cast<PartId>(i % parts);
+        c.futility = rng.uniform();
+        cands.push_back(c);
+    }
+    return cands;
+}
+
+class BenchOps : public PartitionOps
+{
+  public:
+    std::uint32_t actualSize(PartId part) const override
+    {
+        return 1000 + part * 10;
+    }
+    LineId cacheLines() const override { return 131072; }
+    void demote(LineId, PartId) override {}
+    double exactFutility(LineId line) const override
+    {
+        return (line % 97) / 97.0;
+    }
+};
+
+void
+benchSelectVictim(benchmark::State &state, SchemeKind kind)
+{
+    constexpr std::uint32_t kParts = 8;
+    BenchOps ops;
+    SchemeConfig cfg;
+    cfg.kind = kind;
+    cfg.ways = 16;
+    auto scheme = makeScheme(cfg);
+    scheme->bind(&ops, kParts);
+    for (PartId p = 0; p < kParts; ++p)
+        scheme->setTarget(p, 1000);
+
+    CandidateVec base = makeCandidates(16, kParts);
+    CandidateVec cands;
+    PartId incoming = 0;
+    for (auto _ : state) {
+        cands = base; // schemes may mutate (Vantage demotes)
+        benchmark::DoNotOptimize(
+            scheme->selectVictim(cands, incoming));
+        incoming = static_cast<PartId>((incoming + 1) % kParts);
+    }
+}
+
+void
+benchFullAccess(benchmark::State &state, SchemeKind kind,
+                RankKind rank)
+{
+    CacheSpec spec;
+    spec.array.kind = ArrayKind::SetAssoc;
+    spec.array.numLines = 1 << 15;
+    spec.array.ways = 16;
+    spec.ranking = rank;
+    spec.scheme.kind = kind;
+    spec.numParts = 8;
+    auto cache = buildCache(spec);
+    for (PartId p = 0; p < 8; ++p)
+        cache->setTarget(p, (1 << 15) / 8);
+
+    Rng rng(3);
+    // Pre-fill.
+    for (int i = 0; i < (1 << 16); ++i) {
+        auto part = static_cast<PartId>(rng.below(8));
+        cache->access(part, (part + 1) * 1000000 + rng.below(8192));
+    }
+    for (auto _ : state) {
+        auto part = static_cast<PartId>(rng.below(8));
+        benchmark::DoNotOptimize(cache->access(
+            part, (part + 1) * 1000000 + rng.below(8192)));
+    }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchSelectVictim, unpartitioned,
+                  SchemeKind::None);
+BENCHMARK_CAPTURE(benchSelectVictim, pf, SchemeKind::PF);
+BENCHMARK_CAPTURE(benchSelectVictim, fs_feedback, SchemeKind::Fs);
+BENCHMARK_CAPTURE(benchSelectVictim, fs_analytic,
+                  SchemeKind::FsAnalytic);
+BENCHMARK_CAPTURE(benchSelectVictim, vantage, SchemeKind::Vantage);
+BENCHMARK_CAPTURE(benchSelectVictim, prism, SchemeKind::Prism);
+
+BENCHMARK_CAPTURE(benchFullAccess, fs_coarse, SchemeKind::Fs,
+                  RankKind::CoarseTsLru);
+BENCHMARK_CAPTURE(benchFullAccess, fs_exact_lru, SchemeKind::Fs,
+                  RankKind::ExactLru);
+BENCHMARK_CAPTURE(benchFullAccess, pf_coarse, SchemeKind::PF,
+                  RankKind::CoarseTsLru);
+BENCHMARK_CAPTURE(benchFullAccess, vantage_coarse,
+                  SchemeKind::Vantage, RankKind::CoarseTsLru);
+BENCHMARK_CAPTURE(benchFullAccess, prism_coarse, SchemeKind::Prism,
+                  RankKind::CoarseTsLru);
+
+BENCHMARK_MAIN();

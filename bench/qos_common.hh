@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared setup for the Section VIII QoS experiments (Figures 7-9):
+ * a 32-core CMP with an 8MB 16-way L2, N_subject gromacs subject
+ * threads guaranteed 256KB (4096 lines) each, and 32 - N_subject
+ * lbm background threads splitting the rest.
+ */
+
+#ifndef FSCACHE_BENCH_QOS_COMMON_HH
+#define FSCACHE_BENCH_QOS_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace fscache
+{
+namespace bench
+{
+
+constexpr std::uint32_t kThreads = 32;
+constexpr LineId kL2Lines = 131072; // 8MB
+constexpr std::uint32_t kSubjectLines = 4096; // 256KB
+
+/**
+ * The five schemes of Figure 7 in the paper's presentation, plus
+ * "Vantage-rt": Vantage with realistic timestamp-space demotion
+ * thresholds (the default Vantage row uses idealized exact-rank
+ * thresholds; see VantageConfig::exactThresholds).
+ */
+struct QosScheme
+{
+    std::string name;
+    SchemeConfig scheme;
+    ArrayKind array;
+};
+
+inline const std::vector<QosScheme> &
+qosSchemes()
+{
+    static const std::vector<QosScheme> schemes = [] {
+        std::vector<QosScheme> out;
+        auto mk = [](SchemeKind kind) {
+            SchemeConfig cfg;
+            cfg.kind = kind;
+            return cfg;
+        };
+        out.push_back({"FullAssoc", mk(SchemeKind::PF),
+                       ArrayKind::FullyAssoc});
+        out.push_back({"PF", mk(SchemeKind::PF),
+                       ArrayKind::SetAssoc});
+        out.push_back({"FS", mk(SchemeKind::Fs),
+                       ArrayKind::SetAssoc});
+        out.push_back({"Vantage", mk(SchemeKind::Vantage),
+                       ArrayKind::SetAssoc});
+        SchemeConfig vrt = mk(SchemeKind::Vantage);
+        vrt.vantage.exactThresholds = false;
+        out.push_back({"Vantage-rt", vrt, ArrayKind::SetAssoc});
+        out.push_back({"PriSM", mk(SchemeKind::Prism),
+                       ArrayKind::SetAssoc});
+        return out;
+    }();
+    return schemes;
+}
+
+/** Benchmarks per thread: subjects then background. */
+inline std::vector<std::string>
+qosMix(std::uint32_t subjects)
+{
+    std::vector<std::string> mix;
+    for (std::uint32_t t = 0; t < kThreads; ++t)
+        mix.push_back(t < subjects ? "gromacs" : "lbm");
+    return mix;
+}
+
+/**
+ * Build the cache for one scheme and assign QoS targets. Subject
+ * guarantees stay at 4096 lines; Vantage's background targets are
+ * computed inside its managed fraction. Returns nullptr if the
+ * scheme cannot host the guarantees (Vantage at 31 subjects).
+ */
+inline std::unique_ptr<PartitionedCache>
+buildQosCache(const QosScheme &scheme, std::uint32_t subjects,
+              RankKind ranking, std::uint64_t seed)
+{
+    CacheSpec spec;
+    spec.array.kind = scheme.array;
+    spec.array.numLines = kL2Lines;
+    spec.array.ways = 16;
+    spec.array.hash = HashKind::XorFold;
+    spec.ranking = ranking;
+    spec.scheme = scheme.scheme;
+    spec.numParts = kThreads;
+    spec.seed = seed;
+    auto cache = buildCache(spec);
+
+    double managed = cache->scheme().managedFraction();
+    auto manageable =
+        static_cast<LineId>(kL2Lines * managed);
+    if (static_cast<std::uint64_t>(subjects) * kSubjectLines >
+        manageable) {
+        return nullptr;
+    }
+    cache->setTargets(qosAllocation(manageable, kThreads, subjects,
+                                    kSubjectLines));
+    // 32 partitions x every eviction is needlessly expensive for
+    // mean-occupancy statistics; sample sparsely.
+    cache->setDeviationSampleInterval(13);
+    return cache;
+}
+
+} // namespace bench
+} // namespace fscache
+
+#endif // FSCACHE_BENCH_QOS_COMMON_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Dynamic re-allocation — the "smooth resizing" property in action
+ * (paper Section II.A, property 1).
+ *
+ * Two threads with *phased* behaviour share a 2MB cache: thread 0
+ * alternates between a large and a tiny working set; thread 1 does
+ * the opposite. An epoch controller watches per-thread UMON shadow
+ * monitors, recomputes utility-maximizing targets with the UCP
+ * lookahead policy every epoch, and hands them to Futility Scaling.
+ * Because FS is replacement-based, retargeting costs nothing: no
+ * flush, no migration — occupancies simply drift to the new targets
+ * within a few thousand evictions.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "alloc/umon.hh"
+#include "core/fscache.hh"
+#include "trace/phased_generator.hh"
+#include "trace/stack_dist_generator.hh"
+
+using namespace fscache;
+
+namespace
+{
+
+constexpr LineId kLines = 32768; // 2MB
+constexpr std::uint32_t kUmonWays = 32;
+constexpr std::uint64_t kPhaseLen = 150000;
+constexpr std::uint64_t kEpochLen = 30000; // accesses per epoch
+constexpr int kEpochs = 20;
+
+std::unique_ptr<TraceSource>
+phase(Addr base, std::uint64_t working_set, std::uint64_t seed)
+{
+    StackDistConfig cfg;
+    cfg.pNew = 0.02;
+    cfg.depth = DepthDist::logUniform(1, working_set);
+    cfg.maxResident = working_set * 2;
+    cfg.meanInstrGap = 1;
+    return std::make_unique<StackDistGenerator>(cfg, base, Rng(seed));
+}
+
+std::unique_ptr<TraceSource>
+phasedThread(std::uint32_t t, std::uint64_t big, std::uint64_t small,
+             bool big_first)
+{
+    Addr base = threadBaseAddr(t);
+    std::vector<PhasedGenerator::Phase> phases;
+    std::uint64_t first = big_first ? big : small;
+    std::uint64_t second = big_first ? small : big;
+    phases.push_back({kPhaseLen, phase(base, first, 100 + t)});
+    phases.push_back(
+        {kPhaseLen, phase(base + (1ull << 40), second, 200 + t)});
+    return std::make_unique<PhasedGenerator>(
+        strprintf("thread%u", t), std::move(phases));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Dynamic re-allocation: UMON + UCP lookahead + FS "
+                "on phase-changing threads (2MB L2)\n\n");
+
+    auto cache = CacheBuilder()
+                     .lines(kLines)
+                     .setAssociative(16)
+                     .ranking(RankKind::CoarseTsLru)
+                     .scheme(SchemeKind::Fs)
+                     .partitions(2)
+                     .seed(17)
+                     .build();
+    cache->setTargets(equalShare(kLines, 2));
+
+    std::vector<std::unique_ptr<TraceSource>> threads;
+    threads.push_back(phasedThread(0, 24576, 2048, true));
+    threads.push_back(phasedThread(1, 24576, 2048, false));
+
+    std::vector<UmonMonitor> umons;
+    for (int t = 0; t < 2; ++t)
+        umons.emplace_back(kUmonWays, 64, 1024, 900 + t);
+
+    TablePrinter table({"epoch", "target0", "target1", "occ0",
+                        "occ1", "missratio0", "missratio1"});
+
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+        cache->resetStats();
+        for (std::uint64_t i = 0; i < kEpochLen; ++i) {
+            for (std::uint32_t t = 0; t < 2; ++t) {
+                Access a = threads[t]->next();
+                cache->access(static_cast<PartId>(t), a.addr);
+                umons[t].access(a.addr);
+            }
+        }
+
+        // Re-allocate from the observed miss curves. Each UMON way
+        // stands for 1/W of the cache.
+        std::vector<MissCurve> curves{umons[0].missCurve(),
+                                      umons[1].missCurve()};
+        Allocation targets = lookaheadAllocation(
+            curves, kUmonWays, kLines / kUmonWays);
+        cache->setTargets(targets);
+        umons[0].resetCounters();
+        umons[1].resetCounters();
+
+        table.addRow(
+            {strprintf("%d", epoch),
+             TablePrinter::num(std::uint64_t{targets[0]}),
+             TablePrinter::num(std::uint64_t{targets[1]}),
+             TablePrinter::num(cache->actualSize(0), 0),
+             TablePrinter::num(cache->actualSize(1), 0),
+             TablePrinter::num(cache->stats(0).missRatio(), 3),
+             TablePrinter::num(cache->stats(1).missRatio(), 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nWatch the targets flip as the threads trade "
+                "working sets, and the occupancies follow within "
+                "an epoch — no flush, no migration (smooth "
+                "resizing).\n");
+    return 0;
+}

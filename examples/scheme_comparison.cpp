@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Compare all partitioning enforcement schemes on one heterogeneous
+ * 4-thread mix: per-partition occupancy accuracy, associativity
+ * (AEF), miss ratios, and per-thread IPC.
+ *
+ * Demonstrates the library's scheme/array/ranking orthogonality:
+ * every scheme runs on the same array, ranking, workload and
+ * targets, so the differences are purely the enforcement policy.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/fscache.hh"
+
+using namespace fscache;
+
+namespace
+{
+
+constexpr LineId kLines = 65536; // 4MB
+const std::vector<std::string> kMix{"mcf", "gromacs", "cactusadm",
+                                    "lbm"};
+
+void
+runScheme(const char *name, SchemeKind kind, ArrayKind array,
+          const Workload &wl, TablePrinter &table)
+{
+    CacheSpec spec;
+    spec.array.kind = array;
+    spec.array.numLines = kLines;
+    spec.array.ways = 16;
+    spec.ranking = RankKind::CoarseTsLru;
+    spec.scheme.kind = kind;
+    spec.numParts = static_cast<std::uint32_t>(kMix.size());
+    spec.seed = 9;
+    auto cache = buildCache(spec);
+
+    // Equal split, scaled into the scheme's manageable fraction.
+    auto manageable = static_cast<LineId>(
+        kLines * cache->scheme().managedFraction());
+    cache->setTargets(
+        equalShare(manageable,
+                   static_cast<std::uint32_t>(kMix.size())));
+
+    TimingSim sim(*cache, wl, TimingConfig{});
+    sim.run();
+
+    for (PartId p = 0; p < kMix.size(); ++p) {
+        table.addRow(
+            {name, kMix[p],
+             TablePrinter::num(
+                 std::uint64_t{cache->scheme().target(p)}),
+             TablePrinter::num(cache->deviation(p).meanOccupancy(),
+                               0),
+             TablePrinter::num(cache->assocDist(p).aef(), 3),
+             TablePrinter::num(cache->stats(p).missRatio(), 3),
+             TablePrinter::num(sim.perf(p).ipc(), 3)});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Scheme comparison on a heterogeneous mix "
+                "(mcf + gromacs + cactusadm + lbm, 4MB 16-way L2, "
+                "equal targets)\n\n");
+
+    Workload wl = Workload::mix(kMix, 250000, 77);
+
+    TablePrinter table({"scheme", "thread", "target", "occupancy",
+                        "AEF", "miss ratio", "IPC"});
+    runScheme("fullassoc", SchemeKind::PF, ArrayKind::FullyAssoc,
+              wl, table);
+    runScheme("pf", SchemeKind::PF, ArrayKind::SetAssoc, wl, table);
+    runScheme("fs", SchemeKind::Fs, ArrayKind::SetAssoc, wl, table);
+    runScheme("vantage", SchemeKind::Vantage, ArrayKind::SetAssoc,
+              wl, table);
+    runScheme("prism", SchemeKind::Prism, ArrayKind::SetAssoc, wl,
+              table);
+    table.print(std::cout);
+
+    std::printf("\nReading guide: occupancy close to target = "
+                "precise sizing; AEF close to 1 = high "
+                "associativity. FS should deliver both at once.\n");
+    return 0;
+}

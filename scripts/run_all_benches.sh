@@ -1,0 +1,16 @@
+#!/bin/sh
+# Run every figure/ablation bench and collect the outputs under
+# results/. FS_BENCH_SCALE scales workload sizes (default 1).
+set -e
+
+build_dir="${1:-build}"
+out_dir="${2:-results}"
+mkdir -p "$out_dir"
+
+for b in "$build_dir"/bench/*; do
+    name=$(basename "$b")
+    echo "== $name =="
+    "$b" 2>"$out_dir/$name.err" | tee "$out_dir/$name.txt"
+done
+
+echo "All bench outputs in $out_dir/"

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Allocation policies: translate QoS objectives into per-partition
+ * target sizes (the software half of cache capacity management,
+ * paper Section II.A). The enforcement schemes in partition/ make
+ * the targets real.
+ */
+
+#ifndef FSCACHE_ALLOC_ALLOCATION_HH
+#define FSCACHE_ALLOC_ALLOCATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** Per-partition target sizes, in lines. */
+using Allocation = std::vector<std::uint32_t>;
+
+} // namespace fscache
+
+#endif // FSCACHE_ALLOC_ALLOCATION_HH

@@ -1,0 +1,39 @@
+#include "alloc/qos_alloc.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+Allocation
+qosAllocation(LineId total_lines, std::uint32_t parts,
+              std::uint32_t subjects, std::uint32_t subject_lines)
+{
+    fs_assert(parts >= 1, "need at least one partition");
+    fs_assert(subjects <= parts, "more subjects than partitions");
+    std::uint64_t guaranteed =
+        static_cast<std::uint64_t>(subjects) * subject_lines;
+    fs_assert(guaranteed <= total_lines,
+              "subject guarantees (%llu lines) exceed the cache (%u)",
+              static_cast<unsigned long long>(guaranteed),
+              total_lines);
+
+    Allocation out(parts, 0);
+    for (std::uint32_t p = 0; p < subjects; ++p)
+        out[p] = subject_lines;
+
+    std::uint32_t background = parts - subjects;
+    if (background > 0) {
+        auto rest = static_cast<LineId>(total_lines - guaranteed);
+        LineId share = rest / background;
+        LineId extra = rest % background;
+        for (std::uint32_t p = subjects; p < parts; ++p) {
+            out[p] = share;
+            if (p - subjects < extra)
+                ++out[p];
+        }
+    }
+    return out;
+}
+
+} // namespace fscache

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * QoS allocation (paper Section VIII.A): the first
+ * `subjects` partitions are subject threads with a guaranteed
+ * per-thread line count; the remaining background threads split
+ * whatever is left equally.
+ */
+
+#ifndef FSCACHE_ALLOC_QOS_ALLOC_HH
+#define FSCACHE_ALLOC_QOS_ALLOC_HH
+
+#include "alloc/allocation.hh"
+
+namespace fscache
+{
+
+/**
+ * @param total_lines cache capacity in lines
+ * @param parts total partitions (threads)
+ * @param subjects number of subject threads (partitions 0..subjects-1)
+ * @param subject_lines guaranteed lines per subject thread
+ *        (the paper uses 4096 = 256KB)
+ */
+Allocation qosAllocation(LineId total_lines, std::uint32_t parts,
+                         std::uint32_t subjects,
+                         std::uint32_t subject_lines);
+
+} // namespace fscache
+
+#endif // FSCACHE_ALLOC_QOS_ALLOC_HH

@@ -1,0 +1,70 @@
+#include "alloc/umon.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+UmonMonitor::UmonMonitor(std::uint32_t ways,
+                         std::uint32_t sampled_sets,
+                         std::uint32_t virtual_sets,
+                         std::uint64_t seed)
+    : ways_(ways), sampledSets_(sampled_sets),
+      hash_(makeIndexHash(HashKind::H3, virtual_sets, seed)),
+      stacks_(sampled_sets), hits_(ways, 0)
+{
+    fs_assert(ways >= 1, "umon needs at least one way");
+    fs_assert(sampled_sets >= 1 && sampled_sets <= virtual_sets,
+              "bad sampling ratio");
+    for (auto &stack : stacks_)
+        stack.reserve(ways);
+}
+
+void
+UmonMonitor::access(Addr addr)
+{
+    std::uint64_t vset = hash_->index(addr);
+    if (vset >= sampledSets_)
+        return;
+    ++accesses_;
+
+    std::vector<Addr> &stack = stacks_[vset];
+    auto it = std::find(stack.begin(), stack.end(), addr);
+    if (it != stack.end()) {
+        auto pos = static_cast<std::uint32_t>(it - stack.begin());
+        ++hits_[pos];
+        stack.erase(it);
+    } else {
+        ++misses_;
+        if (stack.size() >= ways_)
+            stack.pop_back();
+    }
+    stack.insert(stack.begin(), addr);
+}
+
+MissCurve
+UmonMonitor::missCurve() const
+{
+    // With k ways, hits at stack positions >= k become misses
+    // (stack inclusion).
+    MissCurve curve(ways_ + 1);
+    std::uint64_t beyond = misses_;
+    curve[ways_] = beyond;
+    for (std::uint32_t k = ways_; k-- > 0;) {
+        beyond += hits_[k];
+        curve[k] = beyond;
+    }
+    return curve;
+}
+
+void
+UmonMonitor::resetCounters()
+{
+    std::fill(hits_.begin(), hits_.end(), 0);
+    misses_ = 0;
+    accesses_ = 0;
+}
+
+} // namespace fscache

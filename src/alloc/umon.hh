@@ -1,0 +1,84 @@
+/**
+ * @file
+ * UMON: a set-sampled utility monitor (Qureshi & Patt, MICRO 2006)
+ * producing online miss curves for utility-based allocation.
+ *
+ * A small auxiliary tag directory tracks a W-way LRU stack for a
+ * sampled subset of cache sets. Counting hits per stack position
+ * gives, in one pass, the misses the thread would take at *every*
+ * allocation of 1..W ways (the stack-inclusion property); set
+ * sampling keeps the overhead negligible. Feed the resulting
+ * MissCurve to lookaheadAllocation() and enforce the targets with
+ * Futility Scaling — the full allocation/enforcement stack of the
+ * paper's Section II.A.
+ */
+
+#ifndef FSCACHE_ALLOC_UMON_HH
+#define FSCACHE_ALLOC_UMON_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/utility_alloc.hh"
+#include "common/hashing.hh"
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class UmonMonitor
+{
+  public:
+    /**
+     * @param ways stack depth W (miss-curve resolution)
+     * @param sampled_sets monitored sets (auxiliary storage =
+     *        sampled_sets * ways tags)
+     * @param virtual_sets sets the hash spreads addresses over;
+     *        sampling ratio = sampled_sets / virtual_sets
+     * @param seed hash seed
+     */
+    UmonMonitor(std::uint32_t ways, std::uint32_t sampled_sets,
+                std::uint32_t virtual_sets, std::uint64_t seed);
+
+    /** Observe one access (ignored unless it maps to a sampled
+     *  set). */
+    void access(Addr addr);
+
+    /** Sampled accesses seen since the last reset. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Sampled misses (beyond W ways). */
+    std::uint64_t misses() const { return misses_; }
+
+    /** Hits at stack position `pos` (0 = MRU). */
+    std::uint64_t hitAt(std::uint32_t pos) const
+    { return hits_[pos]; }
+
+    std::uint32_t ways() const { return ways_; }
+
+    /**
+     * Miss curve over 0..W ways: curve[k] = sampled misses the
+     * thread would take with k ways. Monotone non-increasing.
+     */
+    MissCurve missCurve() const;
+
+    /** Clear counters (tags are kept: warm monitor). */
+    void resetCounters();
+
+  private:
+    std::uint32_t ways_;
+    std::uint32_t sampledSets_;
+    std::unique_ptr<IndexHash> hash_;
+
+    /** Per sampled set: tags in LRU order (front = MRU). */
+    std::vector<std::vector<Addr>> stacks_;
+    std::vector<std::uint64_t> hits_;
+    std::uint64_t misses_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_ALLOC_UMON_HH

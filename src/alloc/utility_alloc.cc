@@ -1,0 +1,82 @@
+#include "alloc/utility_alloc.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+namespace
+{
+
+/**
+ * Max marginal utility for partition p when it already holds
+ * `have` blocks and at most `budget` more are available:
+ * max over s of (misses[have] - misses[have+s]) / s.
+ */
+double
+maxMarginalUtility(const MissCurve &curve, std::uint32_t have,
+                   std::uint32_t budget, std::uint32_t &best_step)
+{
+    best_step = 0;
+    double best = 0.0;
+    std::uint32_t limit =
+        static_cast<std::uint32_t>(curve.size()) - 1;
+    for (std::uint32_t s = 1; have + s <= limit && s <= budget; ++s) {
+        if (curve[have + s] >= curve[have])
+            continue;
+        double gain =
+            static_cast<double>(curve[have] - curve[have + s]) / s;
+        if (gain > best) {
+            best = gain;
+            best_step = s;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+Allocation
+lookaheadAllocation(const std::vector<MissCurve> &curves,
+                    std::uint32_t total_blocks,
+                    std::uint32_t block_lines)
+{
+    fs_assert(!curves.empty(), "need at least one curve");
+    fs_assert(block_lines >= 1, "blocks must hold lines");
+    for (const auto &c : curves)
+        fs_assert(c.size() >= 2, "miss curves need >= 2 points");
+
+    std::size_t n = curves.size();
+    std::vector<std::uint32_t> blocks(n, 0);
+    std::uint32_t budget = total_blocks;
+
+    while (budget > 0) {
+        double best_gain = 0.0;
+        std::size_t best_part = n;
+        std::uint32_t best_step = 0;
+        for (std::size_t p = 0; p < n; ++p) {
+            std::uint32_t step = 0;
+            double gain = maxMarginalUtility(curves[p], blocks[p],
+                                             budget, step);
+            if (step > 0 && gain > best_gain) {
+                best_gain = gain;
+                best_part = p;
+                best_step = step;
+            }
+        }
+        if (best_part == n)
+            break; // no partition benefits from more space
+        blocks[best_part] += best_step;
+        budget -= best_step;
+    }
+
+    // Flat-curve leftovers: keep capacity in use anyway.
+    blocks[0] += budget;
+
+    Allocation out(n);
+    for (std::size_t p = 0; p < n; ++p)
+        out[p] = blocks[p] * block_lines;
+    return out;
+}
+
+} // namespace fscache

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Utility-based allocation: the UCP "lookahead" algorithm (Qureshi
+ * & Patt, MICRO 2006), the canonical Utilitarian policy the paper
+ * cites as an allocation layer above the enforcement scheme.
+ *
+ * Input is one miss curve per partition — misses the thread would
+ * take at each candidate size (in blocks of `blockLines` lines).
+ * The algorithm repeatedly grants the block range with the highest
+ * marginal utility (miss reduction per block), which handles
+ * non-convex miss curves.
+ */
+
+#ifndef FSCACHE_ALLOC_UTILITY_ALLOC_HH
+#define FSCACHE_ALLOC_UTILITY_ALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocation.hh"
+
+namespace fscache
+{
+
+/** Miss curve: misses[k] = misses when given k blocks. */
+using MissCurve = std::vector<std::uint64_t>;
+
+/**
+ * UCP lookahead.
+ *
+ * @param curves one miss curve per partition; curves[p].size() - 1
+ *        is the max blocks partition p can use; all curves must
+ *        have at least 2 points
+ * @param total_blocks blocks to hand out
+ * @param block_lines lines per block (scales the returned targets)
+ * @return per-partition targets in lines (sum <= total capacity;
+ *         leftover blocks — possible when curves are flat — go to
+ *         partition 0)
+ */
+Allocation lookaheadAllocation(const std::vector<MissCurve> &curves,
+                               std::uint32_t total_blocks,
+                               std::uint32_t block_lines);
+
+} // namespace fscache
+
+#endif // FSCACHE_ALLOC_UTILITY_ALLOC_HH

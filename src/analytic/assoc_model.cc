@@ -1,0 +1,104 @@
+#include "analytic/assoc_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+namespace analytic
+{
+
+namespace
+{
+
+double
+candidateCdf(const std::vector<PartitionSpec> &parts,
+             const std::vector<double> &alphas, double x)
+{
+    double f = 0.0;
+    for (std::size_t j = 0; j < parts.size(); ++j)
+        f += parts[j].size * std::min(x / alphas[j], 1.0);
+    return f;
+}
+
+/** Unnormalized density of partition i evictions at futility t. */
+double
+evictDensity(const std::vector<PartitionSpec> &parts,
+             const std::vector<double> &alphas,
+             std::uint32_t candidates, std::size_t i, double t)
+{
+    double f = candidateCdf(parts, alphas, alphas[i] * t);
+    return candidates * parts[i].size *
+           std::pow(f, static_cast<double>(candidates - 1));
+}
+
+/** Simpson integral of the density over [0, x]. */
+double
+densityIntegral(const std::vector<PartitionSpec> &parts,
+                const std::vector<double> &alphas,
+                std::uint32_t candidates, std::size_t i, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    constexpr int kSteps = 2048;
+    double h = x / kSteps;
+    double acc = evictDensity(parts, alphas, candidates, i, 0.0) +
+                 evictDensity(parts, alphas, candidates, i, x);
+    for (int k = 1; k < kSteps; ++k)
+        acc += (k % 2 ? 4.0 : 2.0) *
+               evictDensity(parts, alphas, candidates, i, k * h);
+    return acc * h / 3.0;
+}
+
+} // namespace
+
+double
+uniformCacheAef(std::uint32_t candidates)
+{
+    return static_cast<double>(candidates) / (candidates + 1.0);
+}
+
+double
+uniformCacheCdf(std::uint32_t candidates, double x)
+{
+    return std::pow(std::clamp(x, 0.0, 1.0),
+                    static_cast<double>(candidates));
+}
+
+double
+fsAssocCdf(const std::vector<PartitionSpec> &parts,
+           const std::vector<double> &alphas,
+           std::uint32_t candidates, std::size_t i, double x)
+{
+    fs_assert(i < parts.size(), "partition index out of range");
+    double total =
+        densityIntegral(parts, alphas, candidates, i, 1.0);
+    if (total <= 0.0)
+        return 0.0;
+    return densityIntegral(parts, alphas, candidates, i,
+                           std::clamp(x, 0.0, 1.0)) /
+           total;
+}
+
+double
+fsAef(const std::vector<PartitionSpec> &parts,
+      const std::vector<double> &alphas, std::uint32_t candidates,
+      std::size_t i)
+{
+    // AEF = 1 - Int_0^1 CDF(x) dx; reuse the CDF via Simpson.
+    constexpr int kSteps = 512;
+    double h = 1.0 / kSteps;
+    auto cdf = [&](double x) {
+        return fsAssocCdf(parts, alphas, candidates, i, x);
+    };
+    double acc = cdf(0.0) + cdf(1.0);
+    for (int k = 1; k < kSteps; ++k)
+        acc += (k % 2 ? 4.0 : 2.0) * cdf(k * h);
+    double integral = acc * h / 3.0;
+    return 1.0 - integral;
+}
+
+} // namespace analytic
+} // namespace fscache

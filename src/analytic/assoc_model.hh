@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytic associativity distributions (paper Sections III-IV).
+ *
+ * For a non-partitioned cache with R uniform candidates the
+ * eviction-futility CDF is x^R (AEF = R/(R+1)); the worst case is
+ * the diagonal x (AEF = 0.5). Under Futility Scaling, partition i's
+ * eviction-futility CDF is
+ *
+ *   CDF_i(x) = (R * S_i / E_i) * Int_0^x F(alpha_i t)^(R-1) dt ,
+ *
+ * where F is the candidate scaled-futility CDF; an unscaled
+ * partition (alpha_i = 1 = min alpha) recovers exactly x^R — FS
+ * fully preserves its associativity (Section IV.C).
+ */
+
+#ifndef FSCACHE_ANALYTIC_ASSOC_MODEL_HH
+#define FSCACHE_ANALYTIC_ASSOC_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analytic/scaling_solver.hh"
+
+namespace fscache
+{
+namespace analytic
+{
+
+/** AEF of a non-partitioned R-candidate cache: R / (R + 1). */
+double uniformCacheAef(std::uint32_t candidates);
+
+/** Eviction-futility CDF of a non-partitioned cache: x^R. */
+double uniformCacheCdf(std::uint32_t candidates, double x);
+
+/**
+ * FS eviction-futility CDF of partition `i` at unscaled futility x.
+ */
+double fsAssocCdf(const std::vector<PartitionSpec> &parts,
+                  const std::vector<double> &alphas,
+                  std::uint32_t candidates, std::size_t i, double x);
+
+/** FS average eviction futility of partition `i`. */
+double fsAef(const std::vector<PartitionSpec> &parts,
+             const std::vector<double> &alphas,
+             std::uint32_t candidates, std::size_t i);
+
+} // namespace analytic
+} // namespace fscache
+
+#endif // FSCACHE_ANALYTIC_ASSOC_MODEL_HH

@@ -1,0 +1,151 @@
+#include "analytic/scaling_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+namespace analytic
+{
+
+namespace
+{
+
+/** Candidate scaled-futility CDF F(x). */
+double
+candidateCdf(const std::vector<PartitionSpec> &parts,
+             const std::vector<double> &alphas, double x)
+{
+    double f = 0.0;
+    for (std::size_t j = 0; j < parts.size(); ++j)
+        f += parts[j].size * std::min(x / alphas[j], 1.0);
+    return f;
+}
+
+/**
+ * Int_0^{upper} F(x)^(R-1) dx by composite Simpson over the
+ * piecewise-smooth segments between the alpha breakpoints.
+ */
+double
+integralFPow(const std::vector<PartitionSpec> &parts,
+             const std::vector<double> &alphas,
+             std::uint32_t candidates, double upper)
+{
+    std::vector<double> cuts{0.0, upper};
+    for (double a : alphas)
+        if (a < upper)
+            cuts.push_back(a);
+    std::sort(cuts.begin(), cuts.end());
+
+    auto fpow = [&](double x) {
+        return std::pow(candidateCdf(parts, alphas, x),
+                        static_cast<double>(candidates - 1));
+    };
+
+    double total = 0.0;
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+        double lo = cuts[s], hi = cuts[s + 1];
+        if (hi - lo < 1e-15)
+            continue;
+        constexpr int kSteps = 256; // per segment; integrand smooth
+        double h = (hi - lo) / kSteps;
+        double acc = fpow(lo) + fpow(hi);
+        for (int k = 1; k < kSteps; ++k)
+            acc += (k % 2 ? 4.0 : 2.0) * fpow(lo + k * h);
+        total += acc * h / 3.0;
+    }
+    return total;
+}
+
+} // namespace
+
+bool
+feasible(double size_frac, double insertion_frac,
+         std::uint32_t candidates)
+{
+    return insertion_frac >
+           std::pow(size_frac, static_cast<double>(candidates));
+}
+
+double
+scalingFactorTwoPart(double s1, double i1, std::uint32_t candidates)
+{
+    fs_assert(candidates >= 2, "need R >= 2");
+    fs_assert(s1 > 0.0 && s1 < 1.0, "s1 must be in (0,1)");
+    fs_assert(i1 > 0.0 && i1 < 1.0, "i1 must be in (0,1)");
+    if (!feasible(s1, i1, candidates)) {
+        fatal("infeasible partitioning: I1=%g <= S1^R=%g", i1,
+              std::pow(s1, static_cast<double>(candidates)));
+    }
+    double root = std::pow(i1 / s1, 1.0 / (candidates - 1));
+    double s2 = 1.0 - s1;
+    return s2 / (root - s1);
+}
+
+std::vector<double>
+evictionShares(const std::vector<PartitionSpec> &parts,
+               const std::vector<double> &alphas,
+               std::uint32_t candidates)
+{
+    fs_assert(parts.size() == alphas.size(), "size mismatch");
+    std::vector<double> shares(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        double integral =
+            integralFPow(parts, alphas, candidates, alphas[i]);
+        shares[i] = candidates * parts[i].size * integral / alphas[i];
+    }
+    return shares;
+}
+
+std::vector<double>
+solveScalingFactors(const std::vector<PartitionSpec> &parts,
+                    std::uint32_t candidates, double tol)
+{
+    fs_assert(parts.size() >= 2, "need at least two partitions");
+    for (const auto &p : parts) {
+        fs_assert(p.size > 0.0 && p.insertion > 0.0,
+                  "partition fractions must be positive");
+        if (!feasible(p.size, p.insertion, candidates)) {
+            fatal("infeasible partition: I=%g <= S^R=%g", p.insertion,
+                  std::pow(p.size,
+                           static_cast<double>(candidates)));
+        }
+    }
+
+    std::vector<double> alphas(parts.size(), 1.0);
+    constexpr int kMaxIters = 20000;
+    // Eviction shares respond like alpha^(R-1), so damp the
+    // multiplicative update accordingly or it oscillates wildly.
+    const double gamma = 0.5 / (candidates - 1);
+
+    for (int iter = 0; iter < kMaxIters; ++iter) {
+        std::vector<double> shares =
+            evictionShares(parts, alphas, candidates);
+
+        double err = 0.0;
+        for (std::size_t i = 0; i < parts.size(); ++i)
+            err = std::max(err,
+                           std::fabs(shares[i] - parts[i].insertion));
+        if (err < tol)
+            return alphas;
+
+        // A larger alpha_i raises E_i; push each alpha toward the
+        // ratio that would balance its own equation, damped and
+        // clamped for robustness far from the fixed point.
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            double ratio = parts[i].insertion / shares[i];
+            double factor = std::pow(ratio, gamma);
+            factor = std::clamp(factor, 0.8, 1.25);
+            alphas[i] *= factor;
+        }
+        double lo = *std::min_element(alphas.begin(), alphas.end());
+        for (double &a : alphas)
+            a /= lo;
+    }
+    fatal("scaling-factor solver failed to converge");
+}
+
+} // namespace analytic
+} // namespace fscache

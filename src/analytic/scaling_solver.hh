@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Analytical Futility Scaling model (paper Section IV).
+ *
+ * Under the Uniformity Assumption, a replacement candidate from
+ * partition j has scaled futility uniform on [0, alpha_j] and
+ * belongs to partition j with probability S_j. The candidate
+ * scaled-futility CDF is
+ *
+ *     F(x) = sum_j S_j * min(x / alpha_j, 1)
+ *
+ * and partition i's share of evictions with R candidates is
+ *
+ *     E_i(alpha) = R * S_i * (1/alpha_i) *
+ *                  Int_0^{alpha_i} F(x)^(R-1) dx .
+ *
+ * Stable partitioning requires E_i = I_i for all i. For two
+ * partitions with alpha_1 = 1 this yields the paper's Equation (1):
+ *
+ *     alpha_2 = S_2 / ( (I_1 / S_1)^(1/(R-1)) - S_1 ),
+ *
+ * valid iff I_1 > S_1^R (the bound that applies to *every*
+ * replacement-based partitioning scheme). For N > 2 the system is
+ * solved numerically (the extended-version setup).
+ */
+
+#ifndef FSCACHE_ANALYTIC_SCALING_SOLVER_HH
+#define FSCACHE_ANALYTIC_SCALING_SOLVER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fscache
+{
+namespace analytic
+{
+
+/** Target size fraction and insertion fraction of one partition. */
+struct PartitionSpec
+{
+    double size = 0.0;      ///< S_i, sums to 1 across partitions
+    double insertion = 0.0; ///< I_i, sums to 1 across partitions
+};
+
+/**
+ * Feasibility bound for partition i: its insertion fraction must
+ * exceed S_i^R or no replacement-based scheme can hold its size.
+ */
+bool feasible(double size_frac, double insertion_frac,
+              std::uint32_t candidates);
+
+/**
+ * Closed-form two-partition scaling factor (Equation 1).
+ *
+ * @param s1 size fraction of the unscaled partition (alpha_1 = 1)
+ * @param i1 insertion fraction of the unscaled partition
+ * @param candidates R
+ * @return alpha_2 (> 0); fatal if the partitioning is infeasible
+ */
+double scalingFactorTwoPart(double s1, double i1,
+                            std::uint32_t candidates);
+
+/**
+ * Eviction shares E_i for given scaling factors (numeric
+ * integration of the model above).
+ */
+std::vector<double>
+evictionShares(const std::vector<PartitionSpec> &parts,
+               const std::vector<double> &alphas,
+               std::uint32_t candidates);
+
+/**
+ * Solve E_i(alpha) = I_i for all partitions; the returned vector is
+ * normalized so min(alpha) == 1. Fatal if any partition violates
+ * the feasibility bound.
+ *
+ * @param parts size/insertion fractions (each sums to ~1)
+ * @param candidates R
+ * @param tol max |E_i - I_i| at convergence
+ */
+std::vector<double>
+solveScalingFactors(const std::vector<PartitionSpec> &parts,
+                    std::uint32_t candidates, double tol = 1e-7);
+
+} // namespace analytic
+} // namespace fscache
+
+#endif // FSCACHE_ANALYTIC_SCALING_SOLVER_HH

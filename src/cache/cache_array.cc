@@ -1,0 +1,11 @@
+#include "cache/cache_array.hh"
+
+namespace fscache
+{
+
+CacheArray::CacheArray(LineId num_lines)
+    : tags_(num_lines)
+{
+}
+
+} // namespace fscache

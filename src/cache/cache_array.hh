@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Abstract cache array: decides which slots are replacement
+ * candidates for an address (the paper's "Cache Array" component,
+ * Section III.A).
+ *
+ * The replacement protocol between PartitionedCache and an array is:
+ *
+ *  1. collectCandidates(addr) lists candidate slots (valid or not);
+ *  2. the partitioning scheme picks a victim among the valid ones;
+ *  3. the caller evicts the victim from the tag store;
+ *  4. makeRoom(addr, victim) performs any internal relocations
+ *     (zcache walks) and returns the slot the incoming line must be
+ *     installed into (the victim slot itself for simple arrays).
+ */
+
+#ifndef FSCACHE_CACHE_CACHE_ARRAY_HH
+#define FSCACHE_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/tag_store.hh"
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class CacheArray
+{
+  public:
+    /** Relocation callback: a valid line moved from -> to. */
+    using MoveFn = std::function<void(LineId from, LineId to)>;
+
+    explicit CacheArray(LineId num_lines);
+    virtual ~CacheArray() = default;
+
+    CacheArray(const CacheArray &) = delete;
+    CacheArray &operator=(const CacheArray &) = delete;
+
+    TagStore &tags() { return tags_; }
+    const TagStore &tags() const { return tags_; }
+
+    LineId numLines() const { return tags_.numLines(); }
+
+    /** Nominal number of replacement candidates R. */
+    virtual std::uint32_t candidateCount() const = 0;
+
+    /**
+     * True if an incoming line may be placed in any slot (random-
+     * candidates and fully-associative models); lets the owner fill
+     * the cache from the global free list before evicting anything.
+     */
+    virtual bool unrestrictedPlacement() const { return false; }
+
+    /**
+     * True if the owner should synthesize candidates from the
+     * ranking (worst line per partition) instead of calling
+     * collectCandidates.
+     */
+    virtual bool fullyAssociative() const { return false; }
+
+    /** Candidate slots for an incoming address (cleared first). */
+    virtual void collectCandidates(Addr addr,
+                                   std::vector<LineId> &out) = 0;
+
+    /**
+     * Free the slot for the incoming address after the (already
+     * evicted) victim. Default: the victim slot itself.
+     */
+    virtual LineId
+    makeRoom(Addr incoming, LineId victim, const MoveFn &on_move)
+    {
+        (void)incoming;
+        (void)on_move;
+        return victim;
+    }
+
+    virtual std::string name() const = 0;
+
+  protected:
+    TagStore tags_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Replacement-candidate record handed to partitioning schemes.
+ */
+
+#ifndef FSCACHE_CACHE_CANDIDATE_HH
+#define FSCACHE_CACHE_CANDIDATE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/**
+ * One replacement candidate.
+ *
+ * futility is the *scheme-visible* futility estimate from the
+ * configured ranking, normalized to [0, 1] (e.g. coarse timestamp
+ * distance / 255, or the exact rank fraction). Schemes may scale it
+ * (FS) or threshold it (Vantage); stats always use the exact value
+ * queried separately.
+ */
+struct Candidate
+{
+    LineId line = kInvalidLine;
+    PartId part = kInvalidPart;
+    double futility = 0.0;
+};
+
+using CandidateVec = std::vector<Candidate>;
+
+} // namespace fscache
+
+#endif // FSCACHE_CACHE_CANDIDATE_HH

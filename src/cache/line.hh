@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Per-slot line metadata.
+ */
+
+#ifndef FSCACHE_CACHE_LINE_HH
+#define FSCACHE_CACHE_LINE_HH
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** State of one physical line slot. */
+struct Line
+{
+    Addr addr = kInvalidAddr;
+    PartId part = kInvalidPart;
+    bool valid = false;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_CACHE_LINE_HH

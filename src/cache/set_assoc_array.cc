@@ -1,0 +1,34 @@
+#include "cache/set_assoc_array.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+SetAssocArray::SetAssocArray(LineId num_lines, std::uint32_t ways,
+                             HashKind hash, std::uint64_t seed)
+    : CacheArray(num_lines), ways_(ways)
+{
+    fs_assert(ways >= 1, "need at least one way");
+    fs_assert(num_lines % ways == 0,
+              "lines (%u) not divisible by ways (%u)", num_lines, ways);
+    hash_ = makeIndexHash(hash, num_lines / ways, seed);
+}
+
+void
+SetAssocArray::collectCandidates(Addr addr, std::vector<LineId> &out)
+{
+    out.clear();
+    auto set = static_cast<LineId>(hash_->index(addr));
+    LineId base = set * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w)
+        out.push_back(base + w);
+}
+
+std::string
+SetAssocArray::name() const
+{
+    return strprintf("setassoc-%uw-%s", ways_, hash_->name().c_str());
+}
+
+} // namespace fscache

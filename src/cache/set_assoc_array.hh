@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Set-associative cache array with a pluggable index hash.
+ *
+ * ways == 1 gives the direct-mapped array used by the paper's
+ * Figure 6 sensitivity study; 16 ways with XOR indexing is the
+ * paper's main L2 configuration (Table II).
+ */
+
+#ifndef FSCACHE_CACHE_SET_ASSOC_ARRAY_HH
+#define FSCACHE_CACHE_SET_ASSOC_ARRAY_HH
+
+#include <memory>
+
+#include "cache/cache_array.hh"
+#include "common/hashing.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class SetAssocArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_lines total slots (must be divisible by ways)
+     * @param ways associativity (= candidate count R)
+     * @param hash index hash family
+     * @param seed seed for seeded hash kinds
+     */
+    SetAssocArray(LineId num_lines, std::uint32_t ways, HashKind hash,
+                  std::uint64_t seed);
+
+    std::uint32_t candidateCount() const override { return ways_; }
+
+    void collectCandidates(Addr addr,
+                           std::vector<LineId> &out) override;
+
+    std::string name() const override;
+
+    std::uint64_t sets() const { return hash_->buckets(); }
+
+    /** Set index for an address (exposed for tests). */
+    std::uint64_t setOf(Addr addr) const { return hash_->index(addr); }
+
+  private:
+    std::uint32_t ways_;
+    std::unique_ptr<IndexHash> hash_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_CACHE_SET_ASSOC_ARRAY_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Skew-associative cache array: H independent banks, each indexed by
+ * its own H3 hash, W ways per bank set; R = H * W candidates.
+ *
+ * Good skewing hashes spread replacement candidates near-uniformly,
+ * which is what brings a real array close to the paper's Uniformity
+ * Assumption.
+ */
+
+#ifndef FSCACHE_CACHE_SKEW_ASSOC_ARRAY_HH
+#define FSCACHE_CACHE_SKEW_ASSOC_ARRAY_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "common/hashing.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class SkewAssocArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_lines total slots (divisible by banks * ways)
+     * @param banks number of hash banks H
+     * @param ways ways per bank set W
+     * @param seed hash family seed
+     */
+    SkewAssocArray(LineId num_lines, std::uint32_t banks,
+                   std::uint32_t ways, std::uint64_t seed);
+
+    std::uint32_t candidateCount() const override
+    { return banks_ * ways_; }
+
+    void collectCandidates(Addr addr,
+                           std::vector<LineId> &out) override;
+
+    std::string name() const override;
+
+    /** Slot of way w of the set addr maps to in a bank (for tests). */
+    LineId slotFor(Addr addr, std::uint32_t bank,
+                   std::uint32_t way) const;
+
+  private:
+    std::uint32_t banks_;
+    std::uint32_t ways_;
+    LineId bankLines_;
+    std::vector<std::unique_ptr<IndexHash>> hashes_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_CACHE_SKEW_ASSOC_ARRAY_HH

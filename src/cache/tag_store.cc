@@ -1,0 +1,103 @@
+#include "cache/tag_store.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+TagStore::TagStore(LineId num_lines)
+    : numLines_(num_lines), lines_(num_lines)
+{
+    fs_assert(num_lines > 0, "tag store needs at least one line");
+    byAddr_.reserve(num_lines * 2);
+    freeList_.reserve(num_lines);
+    // Pop order is highest slot first; immaterial, but deterministic.
+    for (LineId id = 0; id < num_lines; ++id)
+        freeList_.push_back(id);
+}
+
+LineId
+TagStore::lookup(Addr addr) const
+{
+    auto it = byAddr_.find(addr);
+    return it == byAddr_.end() ? kInvalidLine : it->second;
+}
+
+void
+TagStore::growPart(PartId part)
+{
+    if (part >= partSize_.size())
+        partSize_.resize(part + 1, 0);
+}
+
+void
+TagStore::install(LineId id, Addr addr, PartId part)
+{
+    Line &l = lines_[id];
+    fs_assert(!l.valid, "install into a valid slot");
+    fs_assert(byAddr_.find(addr) == byAddr_.end(),
+              "address already cached");
+    l.addr = addr;
+    l.part = part;
+    l.valid = true;
+    byAddr_.emplace(addr, id);
+    growPart(part);
+    ++partSize_[part];
+    ++validCount_;
+}
+
+void
+TagStore::evict(LineId id)
+{
+    Line &l = lines_[id];
+    fs_assert(l.valid, "evicting an invalid slot");
+    byAddr_.erase(l.addr);
+    --partSize_[l.part];
+    --validCount_;
+    l.valid = false;
+    l.addr = kInvalidAddr;
+    l.part = kInvalidPart;
+    freeList_.push_back(id);
+}
+
+void
+TagStore::move(LineId from, LineId to)
+{
+    Line &src = lines_[from];
+    Line &dst = lines_[to];
+    fs_assert(src.valid && !dst.valid, "bad relocation");
+    dst = src;
+    byAddr_[dst.addr] = to;
+    src.valid = false;
+    src.addr = kInvalidAddr;
+    src.part = kInvalidPart;
+    // Slot `from` is now free but deliberately NOT on the free list:
+    // relocation chains immediately refill it (zcache), and the
+    // caller installs into it in the same replacement.
+}
+
+void
+TagStore::retag(LineId id, PartId part)
+{
+    Line &l = lines_[id];
+    fs_assert(l.valid, "retag of an invalid slot");
+    --partSize_[l.part];
+    growPart(part);
+    ++partSize_[part];
+    l.part = part;
+}
+
+LineId
+TagStore::popFree()
+{
+    while (!freeList_.empty()) {
+        LineId id = freeList_.back();
+        freeList_.pop_back();
+        // Entries can be stale if a relocation reused the slot.
+        if (!lines_[id].valid)
+            return id;
+    }
+    return kInvalidLine;
+}
+
+} // namespace fscache

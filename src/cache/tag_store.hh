@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tag store: line-slot metadata, address lookup, per-partition
+ * occupancy accounting, and a free-slot list.
+ *
+ * Every cache array shares this implementation; arrays only decide
+ * *which* slots are replacement candidates for an address.
+ * Partition retagging (Vantage demotions) and slot-to-slot moves
+ * (zcache relocation) are first-class so occupancy accounting stays
+ * centralized.
+ */
+
+#ifndef FSCACHE_CACHE_TAG_STORE_HH
+#define FSCACHE_CACHE_TAG_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/line.hh"
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class TagStore
+{
+  public:
+    explicit TagStore(LineId num_lines);
+
+    LineId numLines() const { return numLines_; }
+
+    const Line &line(LineId id) const { return lines_[id]; }
+
+    /** Slot holding addr, or kInvalidLine. */
+    LineId lookup(Addr addr) const;
+
+    /** Install addr into an invalid slot. */
+    void install(LineId id, Addr addr, PartId part);
+
+    /** Invalidate a valid slot. */
+    void evict(LineId id);
+
+    /** Move a valid line's contents from slot `from` to invalid slot
+     *  `to` (zcache relocation). */
+    void move(LineId from, LineId to);
+
+    /** Change a valid line's partition (Vantage demotion). */
+    void retag(LineId id, PartId part);
+
+    /** Number of valid lines. */
+    LineId validCount() const { return validCount_; }
+
+    bool full() const { return validCount_ == numLines_; }
+
+    /** Current occupancy of a partition, in lines. */
+    std::uint32_t
+    partSize(PartId part) const
+    {
+        return part < partSize_.size() ? partSize_[part] : 0;
+    }
+
+    /**
+     * Pop an arbitrary invalid slot (unrestricted-placement arrays
+     * use this while filling). kInvalidLine when full.
+     */
+    LineId popFree();
+
+  private:
+    void growPart(PartId part);
+
+    LineId numLines_;
+    std::vector<Line> lines_;
+    std::unordered_map<Addr, LineId> byAddr_;
+    std::vector<std::uint32_t> partSize_;
+    std::vector<LineId> freeList_;
+    LineId validCount_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_CACHE_TAG_STORE_HH

@@ -1,0 +1,109 @@
+#include "cache/zcache_array.hh"
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace fscache
+{
+
+ZCacheArray::ZCacheArray(LineId num_lines, std::uint32_t banks,
+                         std::uint32_t levels, std::uint64_t seed)
+    : CacheArray(num_lines), banks_(banks), levels_(levels),
+      bankLines_(num_lines / banks)
+{
+    fs_assert(banks >= 2, "zcache needs >= 2 banks");
+    fs_assert(levels >= 1, "zcache needs >= 1 walk level");
+    fs_assert(num_lines % banks == 0,
+              "lines (%u) not divisible by banks (%u)", num_lines,
+              banks);
+    for (std::uint32_t b = 0; b < banks_; ++b) {
+        hashes_.push_back(makeIndexHash(HashKind::H3, bankLines_,
+                                        mix64(seed ^ 0x5a5aull) + b));
+    }
+    // H + H*(H-1) + H*(H-1)^2 + ... candidates across the levels
+    // (before dedup); report the series sum as the nominal R.
+    std::uint64_t r = 0;
+    std::uint64_t level_count = banks_;
+    for (std::uint32_t l = 0; l < levels_; ++l) {
+        r += level_count;
+        level_count *= banks_ - 1;
+    }
+    nominalCandidates_ = static_cast<std::uint32_t>(r);
+}
+
+LineId
+ZCacheArray::slotFor(Addr addr, std::uint32_t bank) const
+{
+    auto set = static_cast<LineId>(hashes_[bank]->index(addr));
+    return bank * bankLines_ + set;
+}
+
+void
+ZCacheArray::collectCandidates(Addr addr, std::vector<LineId> &out)
+{
+    out.clear();
+    parent_.clear();
+
+    // Breadth-first walk. parent_[slot] records how the walk reached
+    // the slot so makeRoom can relocate the chain.
+    std::vector<LineId> frontier;
+    for (std::uint32_t b = 0; b < banks_; ++b) {
+        LineId slot = slotFor(addr, b);
+        if (parent_.emplace(slot, kInvalidLine).second) {
+            out.push_back(slot);
+            frontier.push_back(slot);
+        }
+    }
+
+    for (std::uint32_t level = 1; level < levels_; ++level) {
+        std::vector<LineId> next;
+        for (LineId parent_slot : frontier) {
+            const Line &l = tags_.line(parent_slot);
+            if (!l.valid)
+                continue;
+            std::uint32_t home_bank = parent_slot / bankLines_;
+            for (std::uint32_t b = 0; b < banks_; ++b) {
+                if (b == home_bank)
+                    continue;
+                LineId slot = slotFor(l.addr, b);
+                if (parent_.emplace(slot, parent_slot).second) {
+                    out.push_back(slot);
+                    next.push_back(slot);
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+}
+
+LineId
+ZCacheArray::makeRoom(Addr incoming, LineId victim,
+                      const MoveFn &on_move)
+{
+    (void)incoming;
+    auto it = parent_.find(victim);
+    fs_assert(it != parent_.end(),
+              "makeRoom victim %u not in last candidate walk", victim);
+
+    // Shift each ancestor one step toward the victim slot. Every
+    // move lands the ancestor's address in a slot it hashes to.
+    LineId hole = victim;
+    while (it->second != kInvalidLine) {
+        LineId parent_slot = it->second;
+        tags_.move(parent_slot, hole);
+        if (on_move)
+            on_move(parent_slot, hole);
+        hole = parent_slot;
+        it = parent_.find(hole);
+        fs_assert(it != parent_.end(), "broken walk chain");
+    }
+    return hole;
+}
+
+std::string
+ZCacheArray::name() const
+{
+    return strprintf("zcache-%ub-%ul", banks_, levels_);
+}
+
+} // namespace fscache

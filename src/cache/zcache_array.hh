@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ZCache-style array: H single-way hash banks expanded by a
+ * replacement walk.
+ *
+ * Level 1 candidates are the H slots the incoming address hashes to.
+ * Each further level adds, for every level-(k-1) candidate line, the
+ * slots *that line's* address hashes to in the other banks. Evicting
+ * a deep candidate relocates its ancestors one step down the walk
+ * (every move is to a slot the moved address legitimately hashes to),
+ * so a Z(H)/levels array provides far more candidates than its
+ * lookup ways — the paper notes Vantage needs a Z4/52-like array for
+ * strong isolation.
+ */
+
+#ifndef FSCACHE_CACHE_ZCACHE_ARRAY_HH
+#define FSCACHE_CACHE_ZCACHE_ARRAY_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hh"
+#include "common/hashing.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class ZCacheArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_lines total slots (divisible by banks)
+     * @param banks hash banks H (lookup ways)
+     * @param levels walk depth (1 = plain skew with W=1)
+     * @param seed hash family seed
+     */
+    ZCacheArray(LineId num_lines, std::uint32_t banks,
+                std::uint32_t levels, std::uint64_t seed);
+
+    std::uint32_t candidateCount() const override
+    { return nominalCandidates_; }
+
+    void collectCandidates(Addr addr,
+                           std::vector<LineId> &out) override;
+
+    LineId makeRoom(Addr incoming, LineId victim,
+                    const MoveFn &on_move) override;
+
+    std::string name() const override;
+
+    std::uint32_t banks() const { return banks_; }
+
+  private:
+    LineId slotFor(Addr addr, std::uint32_t bank) const;
+
+    std::uint32_t banks_;
+    std::uint32_t levels_;
+    std::uint32_t nominalCandidates_;
+    LineId bankLines_;
+    std::vector<std::unique_ptr<IndexHash>> hashes_;
+
+    /** Walk parents from the last collectCandidates call. */
+    std::unordered_map<LineId, LineId> parent_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_CACHE_ZCACHE_ARRAY_HH

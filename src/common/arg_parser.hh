@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the tools.
+ *
+ * Supports `--flag`, `--key value` and `--key=value` forms with
+ * typed accessors and automatic `--help` text. Unknown options are
+ * fatal so typos never silently fall back to defaults.
+ */
+
+#ifndef FSCACHE_COMMON_ARG_PARSER_HH
+#define FSCACHE_COMMON_ARG_PARSER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fscache
+{
+
+/** See file comment. */
+class ArgParser
+{
+  public:
+    /**
+     * @param program name shown in help output
+     * @param description one-line tool description
+     */
+    ArgParser(std::string program, std::string description);
+
+    /** Register a string option. */
+    void addString(const std::string &name,
+                   const std::string &default_value,
+                   const std::string &help);
+
+    /** Register an integer option. */
+    void addInt(const std::string &name, std::int64_t default_value,
+                const std::string &help);
+
+    /** Register a floating-point option. */
+    void addDouble(const std::string &name, double default_value,
+                   const std::string &help);
+
+    /** Register a boolean flag (present => true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. On `--help`, prints usage and returns false (the
+     * caller should exit 0). Unknown or malformed options are
+     * fatal.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** True if the option was given explicitly (not defaulted). */
+    bool given(const std::string &name) const;
+
+    void printHelp(std::ostream &os) const;
+
+  private:
+    enum class Kind
+    {
+        String,
+        Int,
+        Double,
+        Flag,
+    };
+
+    struct Option
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // textual, canonical
+        bool given = false;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string program_;
+    std::string description_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_ARG_PARSER_HH

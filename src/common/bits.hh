@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by hashing and the cache
+ * arrays.
+ */
+
+#ifndef FSCACHE_COMMON_BITS_HH
+#define FSCACHE_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace fscache
+{
+
+/** True iff x is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** ceil(log2(x)); x must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    return isPow2(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+/** Smallest power of two >= x (x must be <= 2^63). */
+constexpr std::uint64_t
+ceilPow2(std::uint64_t x)
+{
+    return x <= 1 ? 1 : (1ull << ceilLog2(x));
+}
+
+/** Parity (XOR of all bits) of x. */
+constexpr unsigned
+parity(std::uint64_t x)
+{
+    return static_cast<unsigned>(std::popcount(x)) & 1u;
+}
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_BITS_HH

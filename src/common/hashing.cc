@@ -1,0 +1,91 @@
+#include "common/hashing.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace fscache
+{
+
+IndexHash::IndexHash(std::uint64_t buckets)
+    : buckets_(buckets)
+{
+    fs_assert(buckets > 0, "hash needs at least one bucket");
+}
+
+ModuloHash::ModuloHash(std::uint64_t buckets)
+    : IndexHash(buckets)
+{
+}
+
+std::uint64_t
+ModuloHash::index(Addr addr) const
+{
+    return addr % buckets_;
+}
+
+XorFoldHash::XorFoldHash(std::uint64_t buckets)
+    : IndexHash(buckets), indexBits_(ceilLog2(buckets == 1 ? 2 : buckets))
+{
+}
+
+std::uint64_t
+XorFoldHash::index(Addr addr) const
+{
+    std::uint64_t folded = 0;
+    std::uint64_t x = addr;
+    while (x != 0) {
+        folded ^= x & ((1ull << indexBits_) - 1);
+        x >>= indexBits_;
+    }
+    // Buckets may not be a power of two; reduce without bias worth
+    // caring about at these sizes.
+    return folded % buckets_;
+}
+
+H3Hash::H3Hash(std::uint64_t buckets, std::uint64_t seed)
+    : IndexHash(buckets),
+      indexBits_(ceilLog2(buckets == 1 ? 2 : buckets))
+{
+    Rng rng(mix64(seed ^ 0x48334833ull));
+    masks_.resize(indexBits_);
+    for (auto &mask : masks_)
+        mask = rng();
+}
+
+std::uint64_t
+H3Hash::index(Addr addr) const
+{
+    std::uint64_t out = 0;
+    for (unsigned bit = 0; bit < indexBits_; ++bit)
+        out |= static_cast<std::uint64_t>(parity(addr & masks_[bit])) << bit;
+    return out % buckets_;
+}
+
+HashKind
+parseHashKind(const std::string &name)
+{
+    if (name == "modulo")
+        return HashKind::Modulo;
+    if (name == "xorfold")
+        return HashKind::XorFold;
+    if (name == "h3")
+        return HashKind::H3;
+    fatal("unknown hash kind '%s' (want modulo|xorfold|h3)", name.c_str());
+}
+
+std::unique_ptr<IndexHash>
+makeIndexHash(HashKind kind, std::uint64_t buckets, std::uint64_t seed)
+{
+    switch (kind) {
+      case HashKind::Modulo:
+        return std::make_unique<ModuloHash>(buckets);
+      case HashKind::XorFold:
+        return std::make_unique<XorFoldHash>(buckets);
+      case HashKind::H3:
+        return std::make_unique<H3Hash>(buckets, seed);
+    }
+    panic("unreachable hash kind");
+}
+
+} // namespace fscache

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal()/panic() tradition.
+ *
+ * fatal() is for user errors (bad configuration, impossible
+ * parameters); it prints a message and exits with status 1.
+ * panic() is for internal invariant violations (library bugs); it
+ * prints and aborts so a debugger or core dump can pick it up.
+ */
+
+#ifndef FSCACHE_COMMON_LOG_HH
+#define FSCACHE_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace fscache
+{
+
+/** Terminate with a user-facing error (exit(1)). Printf-style. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Terminate on an internal invariant violation (abort()). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Printf into a std::string (used by the table printers). */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Backend for fs_assert; prints and aborts. */
+[[noreturn]] void fsAssertFail(const char *cond, const char *file,
+                               int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Library assertion that stays on in release builds.
+ * Use for cheap invariants on public-API boundaries. The message
+ * must start with a string literal (printf-style args may follow).
+ */
+#define fs_assert(cond, ...)                                        \
+    do {                                                            \
+        if (!(cond)) {                                              \
+            ::fscache::fsAssertFail(#cond, __FILE__, __LINE__,      \
+                                    __VA_ARGS__);                   \
+        }                                                           \
+    } while (0)
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_LOG_HH

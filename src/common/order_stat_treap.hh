@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Order-statistic treap.
+ *
+ * The futility of a cache line is its rank inside its partition,
+ * normalized to (0, 1] (Section III.A of the paper): for the line
+ * ranked r-th most useless out of M, f = r / M. Computing exact
+ * ranks online requires an order-statistic structure per partition;
+ * this treap provides insert / erase / rank queries in expected
+ * O(log n) with no allocation on the hot path (nodes come from a
+ * free-listed pool).
+ *
+ * Keys encode "usefulness": *larger key = more useful* (e.g. a more
+ * recent access time under LRU). The futility rank of a key k is
+ * then size() - countLess(k), and the least useful line is minKey().
+ * Keys must be unique; callers guarantee this by keying on strictly
+ * monotonic access counters (ties broken by line id where needed).
+ */
+
+#ifndef FSCACHE_COMMON_ORDER_STAT_TREAP_HH
+#define FSCACHE_COMMON_ORDER_STAT_TREAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace fscache
+{
+
+/**
+ * Treap over unique keys with subtree-size augmentation.
+ *
+ * @tparam Key totally ordered key type (operator< / operator==).
+ */
+template <typename Key>
+class OrderStatTreap
+{
+  public:
+    explicit OrderStatTreap(std::uint64_t seed = 0x7265617071ull)
+        : rng_(seed)
+    {
+    }
+
+    /** Number of keys currently stored. */
+    std::uint32_t size() const { return count(root_); }
+
+    bool empty() const { return root_ == kNil; }
+
+    /** Insert a key that must not already be present. */
+    void
+    insert(const Key &key)
+    {
+        std::uint32_t node = allocNode(key);
+        std::uint32_t lo, hi;
+        split(root_, key, lo, hi);
+        root_ = merge(merge(lo, node), hi);
+    }
+
+    /**
+     * Erase a key that must be present.
+     * Panics (in debug spirit) if the key is absent, since an absent
+     * key means the caller's line bookkeeping is corrupt.
+     */
+    void
+    erase(const Key &key)
+    {
+        bool erased = false;
+        root_ = eraseRec(root_, key, erased);
+        fs_assert(erased, "erase of absent key");
+    }
+
+    /** True iff the key is present. */
+    bool
+    contains(const Key &key) const
+    {
+        std::uint32_t node = root_;
+        while (node != kNil) {
+            if (key < nodes_[node].key)
+                node = nodes_[node].left;
+            else if (nodes_[node].key < key)
+                node = nodes_[node].right;
+            else
+                return true;
+        }
+        return false;
+    }
+
+    /** Number of stored keys strictly less than key. */
+    std::uint32_t
+    countLess(const Key &key) const
+    {
+        std::uint32_t node = root_;
+        std::uint32_t below = 0;
+        while (node != kNil) {
+            if (key < nodes_[node].key || key == nodes_[node].key) {
+                node = nodes_[node].left;
+            } else {
+                below += count(nodes_[node].left) + 1;
+                node = nodes_[node].right;
+            }
+        }
+        return below;
+    }
+
+    /**
+     * Futility rank of a present key, in [1, size()]: the most
+     * useful (largest) key has rank 1, the least useful (smallest)
+     * has rank size(). Matches the paper's r in f = r / M.
+     */
+    std::uint32_t
+    futilityRank(const Key &key) const
+    {
+        return size() - countLess(key);
+    }
+
+    /** Smallest key (the least useful line). Treap must be non-empty. */
+    Key
+    minKey() const
+    {
+        fs_assert(root_ != kNil, "minKey on empty treap");
+        std::uint32_t node = root_;
+        while (nodes_[node].left != kNil)
+            node = nodes_[node].left;
+        return nodes_[node].key;
+    }
+
+    /** Largest key (the most useful line). Treap must be non-empty. */
+    Key
+    maxKey() const
+    {
+        fs_assert(root_ != kNil, "maxKey on empty treap");
+        std::uint32_t node = root_;
+        while (nodes_[node].right != kNil)
+            node = nodes_[node].right;
+        return nodes_[node].key;
+    }
+
+    /** k-th smallest key, 0-based. k must be < size(). */
+    Key
+    kth(std::uint32_t k) const
+    {
+        fs_assert(k < size(), "kth out of range");
+        std::uint32_t node = root_;
+        while (true) {
+            std::uint32_t left = count(nodes_[node].left);
+            if (k < left) {
+                node = nodes_[node].left;
+            } else if (k == left) {
+                return nodes_[node].key;
+            } else {
+                k -= left + 1;
+                node = nodes_[node].right;
+            }
+        }
+    }
+
+    /** Remove everything (pool is retained for reuse). */
+    void
+    clear()
+    {
+        nodes_.clear();
+        freeList_.clear();
+        root_ = kNil;
+    }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Node
+    {
+        Key key;
+        std::uint64_t prio;
+        std::uint32_t left;
+        std::uint32_t right;
+        std::uint32_t size;
+    };
+
+    std::uint32_t
+    count(std::uint32_t node) const
+    {
+        return node == kNil ? 0 : nodes_[node].size;
+    }
+
+    void
+    pull(std::uint32_t node)
+    {
+        nodes_[node].size =
+            count(nodes_[node].left) + count(nodes_[node].right) + 1;
+    }
+
+    std::uint32_t
+    allocNode(const Key &key)
+    {
+        std::uint32_t idx;
+        if (!freeList_.empty()) {
+            idx = freeList_.back();
+            freeList_.pop_back();
+        } else {
+            idx = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        Node &n = nodes_[idx];
+        n.key = key;
+        n.prio = rng_();
+        n.left = kNil;
+        n.right = kNil;
+        n.size = 1;
+        return idx;
+    }
+
+    /** Split by key: lo gets keys < key, hi gets keys >= key. */
+    void
+    split(std::uint32_t node, const Key &key, std::uint32_t &lo,
+          std::uint32_t &hi)
+    {
+        if (node == kNil) {
+            lo = kNil;
+            hi = kNil;
+            return;
+        }
+        if (nodes_[node].key < key) {
+            split(nodes_[node].right, key, nodes_[node].right, hi);
+            lo = node;
+        } else {
+            split(nodes_[node].left, key, lo, nodes_[node].left);
+            hi = node;
+        }
+        pull(node);
+    }
+
+    std::uint32_t
+    merge(std::uint32_t a, std::uint32_t b)
+    {
+        if (a == kNil)
+            return b;
+        if (b == kNil)
+            return a;
+        if (nodes_[a].prio > nodes_[b].prio) {
+            nodes_[a].right = merge(nodes_[a].right, b);
+            pull(a);
+            return a;
+        }
+        nodes_[b].left = merge(a, nodes_[b].left);
+        pull(b);
+        return b;
+    }
+
+    std::uint32_t
+    eraseRec(std::uint32_t node, const Key &key, bool &erased)
+    {
+        if (node == kNil)
+            return kNil;
+        if (key < nodes_[node].key) {
+            nodes_[node].left = eraseRec(nodes_[node].left, key, erased);
+        } else if (nodes_[node].key < key) {
+            nodes_[node].right = eraseRec(nodes_[node].right, key, erased);
+        } else {
+            erased = true;
+            std::uint32_t replacement =
+                merge(nodes_[node].left, nodes_[node].right);
+            freeList_.push_back(node);
+            return replacement;
+        }
+        pull(node);
+        return node;
+    }
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> freeList_;
+    std::uint32_t root_ = kNil;
+    Rng rng_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_ORDER_STAT_TREAP_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental value types shared by every fscache module.
+ *
+ * All addresses in this library are *line* addresses: a byte address
+ * already divided by the line size. Traces, tag stores and hash
+ * functions all operate on line addresses so that no module needs to
+ * agree on a particular line size (the timing model is the only place
+ * where bytes matter, via SystemConfig::lineBytes).
+ */
+
+#ifndef FSCACHE_COMMON_TYPES_HH
+#define FSCACHE_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace fscache
+{
+
+/** A cache line address (byte address / line size). */
+using Addr = std::uint64_t;
+
+/** Index of a physical line slot inside a cache array. */
+using LineId = std::uint32_t;
+
+/** Partition identifier. Partitions are dense, 0-based. */
+using PartId = std::uint16_t;
+
+/** Simulated clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Monotonic per-thread access index (used for LRU/OPT keys). */
+using AccessTime = std::uint64_t;
+
+/** Sentinel for "no line". */
+inline constexpr LineId kInvalidLine =
+    std::numeric_limits<LineId>::max();
+
+/** Sentinel for "no partition". */
+inline constexpr PartId kInvalidPart =
+    std::numeric_limits<PartId>::max();
+
+/** Sentinel for "address never referenced again" (OPT ranking). */
+inline constexpr AccessTime kNeverUsed =
+    std::numeric_limits<AccessTime>::max();
+
+/** Sentinel address (no valid line maps to it). */
+inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_TYPES_HH

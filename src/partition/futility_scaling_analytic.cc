@@ -1,0 +1,42 @@
+#include "partition/futility_scaling_analytic.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+void
+FutilityScalingAnalytic::bind(PartitionOps *ops, std::uint32_t num_parts)
+{
+    PartitionScheme::bind(ops, num_parts);
+    alphas_.assign(num_parts, 1.0);
+}
+
+void
+FutilityScalingAnalytic::setScalingFactor(PartId part, double alpha)
+{
+    fs_assert(part < alphas_.size(), "factor for unknown partition");
+    fs_assert(alpha > 0.0, "scaling factor must be positive");
+    alphas_[part] = alpha;
+}
+
+std::uint32_t
+FutilityScalingAnalytic::selectVictim(CandidateVec &cands,
+                                      PartId incoming)
+{
+    (void)incoming;
+    std::uint32_t best = 0;
+    double best_scaled = -1.0;
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].part >= alphas_.size())
+            continue;
+        double scaled = cands[i].futility * alphas_[cands[i].part];
+        if (scaled > best_scaled) {
+            best_scaled = scaled;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace fscache

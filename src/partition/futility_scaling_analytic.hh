@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Analytical Futility Scaling (paper Section IV).
+ *
+ * Each partition i has a fixed real-valued scaling factor alpha_i;
+ * the victim is the candidate with the largest scaled futility
+ * f * alpha. Factors are supplied externally — typically from
+ * analytic::solveScalingFactors() given target sizes and insertion
+ * rates — so this variant exercises the framework results (Figures
+ * 4 and 5) without feedback effects.
+ */
+
+#ifndef FSCACHE_PARTITION_FUTILITY_SCALING_ANALYTIC_HH
+#define FSCACHE_PARTITION_FUTILITY_SCALING_ANALYTIC_HH
+
+#include <vector>
+
+#include "partition/partition_scheme.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class FutilityScalingAnalytic : public PartitionScheme
+{
+  public:
+    void bind(PartitionOps *ops, std::uint32_t num_parts) override;
+
+    /** Set partition i's fixed scaling factor (> 0). */
+    void setScalingFactor(PartId part, double alpha);
+
+    double
+    scalingFactor(PartId part) const
+    {
+        return part < alphas_.size() ? alphas_[part] : 1.0;
+    }
+
+    std::uint32_t selectVictim(CandidateVec &cands,
+                               PartId incoming) override;
+
+    std::string name() const override { return "fs-analytic"; }
+
+  private:
+    std::vector<double> alphas_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_PARTITION_FUTILITY_SCALING_ANALYTIC_HH

@@ -1,0 +1,90 @@
+#include "partition/futility_scaling_feedback.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+FutilityScalingFeedback::FutilityScalingFeedback(FsFeedbackConfig cfg)
+    : cfg_(cfg)
+{
+    fs_assert(cfg_.intervalLength >= 1, "interval length must be >= 1");
+    fs_assert(cfg_.changingRatio > 1.0, "changing ratio must be > 1");
+    fs_assert(cfg_.maxShiftWidth >= 1, "need at least one shift step");
+}
+
+void
+FutilityScalingFeedback::bind(PartitionOps *ops, std::uint32_t num_parts)
+{
+    PartitionScheme::bind(ops, num_parts);
+    regs_.assign(num_parts, PartRegs{});
+}
+
+std::uint32_t
+FutilityScalingFeedback::selectVictim(CandidateVec &cands,
+                                      PartId incoming)
+{
+    (void)incoming;
+    std::uint32_t best = 0;
+    double best_scaled = -1.0;
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].part >= regs_.size())
+            continue;
+        double scaled = cands[i].futility * regs_[cands[i].part].factor;
+        if (scaled > best_scaled) {
+            best_scaled = scaled;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+FutilityScalingFeedback::onInsertion(PartId part)
+{
+    if (part >= regs_.size())
+        return;
+    ++regs_[part].insertions;
+    maybeAdjust(part);
+}
+
+void
+FutilityScalingFeedback::onEviction(PartId part)
+{
+    if (part >= regs_.size())
+        return;
+    ++regs_[part].evictions;
+    maybeAdjust(part);
+}
+
+void
+FutilityScalingFeedback::maybeAdjust(PartId part)
+{
+    PartRegs &r = regs_[part];
+    if (r.insertions < cfg_.intervalLength &&
+        r.evictions < cfg_.intervalLength) {
+        return;
+    }
+
+    // Algorithm 2: scale only when the size error and the trend
+    // agree, to avoid over-scaling during resizing transients.
+    std::uint32_t actual = ops_->actualSize(part);
+    std::uint32_t tgt = target(part);
+    if (r.insertions >= r.evictions && actual > tgt) {
+        if (r.shiftWidth < cfg_.maxShiftWidth) {
+            ++r.shiftWidth;
+            r.factor *= cfg_.changingRatio;
+        }
+    } else if (r.insertions <= r.evictions && actual < tgt) {
+        if (r.shiftWidth > 0) {
+            --r.shiftWidth;
+            r.factor /= cfg_.changingRatio;
+        }
+    }
+    r.insertions = 0;
+    r.evictions = 0;
+}
+
+} // namespace fscache

@@ -1,0 +1,38 @@
+#include "partition/partition_scheme.hh"
+
+#include "cache/tag_store.hh"
+#include "common/log.hh"
+
+namespace fscache
+{
+
+void
+PartitionScheme::bind(PartitionOps *ops, std::uint32_t num_parts)
+{
+    fs_assert(ops != nullptr, "scheme needs owner services");
+    fs_assert(num_parts >= 1, "need at least one partition");
+    ops_ = ops;
+    numParts_ = num_parts;
+    targets_.assign(num_parts, 0);
+}
+
+void
+PartitionScheme::setTarget(PartId part, std::uint32_t lines)
+{
+    fs_assert(part < targets_.size(), "target for unknown partition");
+    targets_[part] = lines;
+}
+
+LineId
+PartitionScheme::pickFreeSlot(const std::vector<LineId> &cand_slots,
+                              const TagStore &tags,
+                              PartId incoming) const
+{
+    (void)incoming;
+    for (LineId slot : cand_slots)
+        if (!tags.line(slot).valid)
+            return slot;
+    return kInvalidLine;
+}
+
+} // namespace fscache

@@ -1,0 +1,44 @@
+#include "partition/partitioning_first_scheme.hh"
+
+#include <limits>
+
+namespace fscache
+{
+
+std::uint32_t
+PartitioningFirstScheme::selectVictim(CandidateVec &cands,
+                                      PartId incoming)
+{
+    (void)incoming;
+
+    // Step 1: Partition Selection — most oversized candidate
+    // partition (signed: if all are undersized, the least so).
+    double max_over = -std::numeric_limits<double>::infinity();
+    PartId chosen = kInvalidPart;
+    for (const Candidate &c : cands) {
+        if (c.part == kInvalidPart)
+            continue;
+        double over = static_cast<double>(ops_->actualSize(c.part)) -
+                      static_cast<double>(target(c.part));
+        if (over > max_over) {
+            max_over = over;
+            chosen = c.part;
+        }
+    }
+
+    // Step 2: Victim Identification — largest futility within the
+    // chosen partition.
+    std::uint32_t best = 0;
+    double best_fut = -1.0;
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].part != chosen)
+            continue;
+        if (cands[i].futility > best_fut) {
+            best_fut = cands[i].futility;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace fscache

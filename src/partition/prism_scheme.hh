@@ -1,0 +1,80 @@
+/**
+ * @file
+ * PriSM: Probabilistic Shared-cache Management (Manikantan, Rajan &
+ * Govindarajan, ISCA 2012), as characterized in the paper's
+ * Sections II.B and VIII.A.
+ *
+ * Each interval, an eviction-probability distribution is computed
+ * from per-partition insertion fractions and size deviations:
+ *
+ *     E_i = I_i + (actual_i - target_i) / W
+ *
+ * (clamped at 0 and renormalized). On each replacement a partition
+ * is drawn from E and its most futile candidate evicted. When no
+ * candidate belongs to the drawn partition — the "abnormality",
+ * frequent when N approaches R — the scheme falls back to the most
+ * futile candidate overall and loses sizing control, which is
+ * exactly the failure mode Figure 7a shows.
+ */
+
+#ifndef FSCACHE_PARTITION_PRISM_SCHEME_HH
+#define FSCACHE_PARTITION_PRISM_SCHEME_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "partition/partition_scheme.hh"
+
+namespace fscache
+{
+
+/** PriSM tunables. */
+struct PrismConfig
+{
+    /** Eviction window W (lines); also the recompute interval. */
+    std::uint32_t window = 2048;
+
+    /** Seed for the partition-sampling stream. */
+    std::uint64_t seed = 0x70726973ull;
+};
+
+/** See file comment. */
+class PrismScheme : public PartitionScheme
+{
+  public:
+    explicit PrismScheme(PrismConfig cfg = PrismConfig{});
+
+    void bind(PartitionOps *ops, std::uint32_t num_parts) override;
+
+    std::uint32_t selectVictim(CandidateVec &cands,
+                               PartId incoming) override;
+
+    void onInsertion(PartId part) override;
+
+    /** Fraction of replacements that hit the abnormality. */
+    double abnormalityRate() const;
+
+    std::uint64_t abnormalities() const { return abnormalities_; }
+
+    /** Current eviction probability for a partition (for tests). */
+    double evictionProbability(PartId part) const
+    { return evictProb_[part]; }
+
+    std::string name() const override { return "prism"; }
+
+  private:
+    void recompute();
+
+    PrismConfig cfg_;
+    Rng rng_;
+    std::vector<std::uint64_t> insertions_;
+    std::uint64_t intervalInsertions_ = 0;
+    std::vector<double> evictProb_;
+    std::vector<double> cumProb_;
+    std::uint64_t replacements_ = 0;
+    std::uint64_t abnormalities_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_PARTITION_PRISM_SCHEME_HH

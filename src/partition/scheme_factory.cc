@@ -1,0 +1,77 @@
+#include "partition/scheme_factory.hh"
+
+#include "common/log.hh"
+#include "partition/futility_scaling_analytic.hh"
+#include "partition/partitioning_first_scheme.hh"
+#include "partition/unpartitioned_scheme.hh"
+#include "partition/way_partition_scheme.hh"
+
+namespace fscache
+{
+
+SchemeKind
+parseSchemeKind(const std::string &name)
+{
+    if (name == "none")
+        return SchemeKind::None;
+    if (name == "pf")
+        return SchemeKind::PF;
+    if (name == "fs-analytic")
+        return SchemeKind::FsAnalytic;
+    if (name == "fs")
+        return SchemeKind::Fs;
+    if (name == "vantage")
+        return SchemeKind::Vantage;
+    if (name == "prism")
+        return SchemeKind::Prism;
+    if (name == "waypart")
+        return SchemeKind::WayPart;
+    fatal("unknown scheme '%s' (want none|pf|fs-analytic|fs|vantage|"
+          "prism|waypart)", name.c_str());
+}
+
+std::string
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::None:
+        return "none";
+      case SchemeKind::PF:
+        return "pf";
+      case SchemeKind::FsAnalytic:
+        return "fs-analytic";
+      case SchemeKind::Fs:
+        return "fs";
+      case SchemeKind::Vantage:
+        return "vantage";
+      case SchemeKind::Prism:
+        return "prism";
+      case SchemeKind::WayPart:
+        return "waypart";
+    }
+    panic("unreachable scheme kind");
+}
+
+std::unique_ptr<PartitionScheme>
+makeScheme(const SchemeConfig &cfg)
+{
+    switch (cfg.kind) {
+      case SchemeKind::None:
+        return std::make_unique<UnpartitionedScheme>();
+      case SchemeKind::PF:
+        return std::make_unique<PartitioningFirstScheme>();
+      case SchemeKind::FsAnalytic:
+        return std::make_unique<FutilityScalingAnalytic>();
+      case SchemeKind::Fs:
+        return std::make_unique<FutilityScalingFeedback>(cfg.fs);
+      case SchemeKind::Vantage:
+        return std::make_unique<VantageScheme>(cfg.vantage);
+      case SchemeKind::Prism:
+        return std::make_unique<PrismScheme>(cfg.prism);
+      case SchemeKind::WayPart:
+        return std::make_unique<WayPartitionScheme>(cfg.ways);
+    }
+    panic("unreachable scheme kind");
+}
+
+} // namespace fscache

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Config-driven construction of partitioning schemes.
+ */
+
+#ifndef FSCACHE_PARTITION_SCHEME_FACTORY_HH
+#define FSCACHE_PARTITION_SCHEME_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "partition/futility_scaling_feedback.hh"
+#include "partition/partition_scheme.hh"
+#include "partition/prism_scheme.hh"
+#include "partition/vantage_scheme.hh"
+
+namespace fscache
+{
+
+/** Supported partitioning schemes. */
+enum class SchemeKind
+{
+    None,       ///< unpartitioned max-futility eviction
+    PF,         ///< Partitioning-First (Algorithm 1)
+    FsAnalytic, ///< Futility Scaling, fixed analytic factors
+    Fs,         ///< Futility Scaling, feedback (the contribution)
+    Vantage,
+    Prism,
+    WayPart,    ///< placement-based baseline
+};
+
+/** Scheme configuration; per-kind sections. */
+struct SchemeConfig
+{
+    SchemeKind kind = SchemeKind::Fs;
+
+    FsFeedbackConfig fs;
+    VantageConfig vantage;
+    PrismConfig prism;
+
+    /** WayPart: array associativity. */
+    std::uint32_t ways = 16;
+};
+
+/** Parse "none" / "pf" / "fs-analytic" / "fs" / "vantage" /
+ *  "prism" / "waypart". */
+SchemeKind parseSchemeKind(const std::string &name);
+
+/** Printable name of a scheme kind. */
+std::string schemeKindName(SchemeKind kind);
+
+/** Build a scheme per the config. */
+std::unique_ptr<PartitionScheme> makeScheme(const SchemeConfig &cfg);
+
+} // namespace fscache
+
+#endif // FSCACHE_PARTITION_SCHEME_FACTORY_HH

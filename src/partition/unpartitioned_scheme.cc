@@ -1,0 +1,17 @@
+#include "partition/unpartitioned_scheme.hh"
+
+namespace fscache
+{
+
+std::uint32_t
+UnpartitionedScheme::selectVictim(CandidateVec &cands, PartId incoming)
+{
+    (void)incoming;
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < cands.size(); ++i)
+        if (cands[i].futility > cands[best].futility)
+            best = i;
+    return best;
+}
+
+} // namespace fscache

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * No partitioning: always evict the candidate with the largest
+ * futility (the baseline replacement policy of a shared cache).
+ */
+
+#ifndef FSCACHE_PARTITION_UNPARTITIONED_SCHEME_HH
+#define FSCACHE_PARTITION_UNPARTITIONED_SCHEME_HH
+
+#include "partition/partition_scheme.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class UnpartitionedScheme : public PartitionScheme
+{
+  public:
+    std::uint32_t selectVictim(CandidateVec &cands,
+                               PartId incoming) override;
+
+    std::string name() const override { return "none"; }
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_PARTITION_UNPARTITIONED_SCHEME_HH

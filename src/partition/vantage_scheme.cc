@@ -1,0 +1,128 @@
+#include "partition/vantage_scheme.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+VantageScheme::VantageScheme(VantageConfig cfg)
+    : cfg_(cfg)
+{
+    fs_assert(cfg_.unmanagedFraction > 0.0 &&
+                  cfg_.unmanagedFraction < 1.0,
+              "unmanaged fraction must be in (0,1)");
+    fs_assert(cfg_.maxAperture > 0.0 && cfg_.maxAperture <= 1.0,
+              "max aperture must be in (0,1]");
+    fs_assert(cfg_.slack > 0.0, "slack must be positive");
+}
+
+void
+VantageScheme::bind(PartitionOps *ops, std::uint32_t num_parts)
+{
+    PartitionScheme::bind(ops, num_parts);
+    thresh_.assign(num_parts, Threshold{});
+    demotions_ = 0;
+    forced_ = 0;
+    replacements_ = 0;
+}
+
+void
+VantageScheme::hwDemotePass(CandidateVec &cands)
+{
+    for (Candidate &c : cands) {
+        if (c.part >= numParts_)
+            continue;
+        double ap = aperture(c.part);
+        Threshold &th = thresh_[c.part];
+        ++th.seen;
+        if (ap > 0.0 && c.futility >= th.value) {
+            ops_->demote(c.line, unmanagedPart());
+            c.part = unmanagedPart();
+            ++demotions_;
+            ++th.demoted;
+        }
+        if (th.seen >= cfg_.thresholdInterval) {
+            // Drive the observed demotion fraction toward the
+            // aperture: demoting too little lowers the threshold.
+            double observed =
+                static_cast<double>(th.demoted) / th.seen;
+            th.value = std::clamp(
+                th.value + cfg_.thresholdGain * (observed - ap),
+                0.02, 1.0);
+            th.seen = 0;
+            th.demoted = 0;
+        }
+    }
+}
+
+double
+VantageScheme::aperture(PartId part) const
+{
+    double tgt = target(part);
+    double actual = ops_->actualSize(part);
+    if (tgt <= 0.0) {
+        // Unsized partitions are fully demotable.
+        return actual > 0.0 ? cfg_.maxAperture : 0.0;
+    }
+    double excess = (actual - tgt) / (cfg_.slack * tgt);
+    return cfg_.maxAperture * std::clamp(excess, 0.0, 1.0);
+}
+
+std::uint32_t
+VantageScheme::selectVictim(CandidateVec &cands, PartId incoming)
+{
+    (void)incoming;
+    ++replacements_;
+
+    if (cfg_.exactThresholds) {
+        // Idealized mode: thresholds are defined on rank fractions,
+        // so work on exact normalized futility.
+        for (Candidate &c : cands) {
+            if (c.part == kInvalidPart)
+                continue;
+            c.futility = ops_->exactFutility(c.line);
+        }
+        // Demotion pass: push over-target partitions' least useful
+        // candidate lines into the unmanaged region.
+        for (Candidate &c : cands) {
+            if (c.part >= numParts_)
+                continue; // already unmanaged (or invalid)
+            double ap = aperture(c.part);
+            if (ap > 0.0 && c.futility >= 1.0 - ap) {
+                ops_->demote(c.line, unmanagedPart());
+                c.part = unmanagedPart();
+                ++demotions_;
+            }
+        }
+    } else {
+        // Hardware mode: thresholds in scheme-futility space with
+        // demotion-rate feedback.
+        hwDemotePass(cands);
+    }
+
+    // Evict the most futile unmanaged candidate.
+    std::int64_t best = -1;
+    double best_fut = -1.0;
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].part != unmanagedPart())
+            continue;
+        if (cands[i].futility > best_fut) {
+            best_fut = cands[i].futility;
+            best = i;
+        }
+    }
+    if (best >= 0)
+        return static_cast<std::uint32_t>(best);
+
+    // Forced eviction from the managed region (weak isolation).
+    ++forced_;
+    std::uint32_t fallback = 0;
+    for (std::uint32_t i = 1; i < cands.size(); ++i)
+        if (cands[i].futility > cands[fallback].futility)
+            fallback = i;
+    return fallback;
+}
+
+} // namespace fscache

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Static way-partitioning (column caching), the placement-based
+ * baseline from the paper's Section II.B.
+ *
+ * Physical ways are statically assigned to partitions in proportion
+ * to their targets. An incoming line may only displace lines in its
+ * own ways, so each partition's effective associativity is its way
+ * count — the coarse granularity and associativity loss the
+ * replacement-based schemes are designed to avoid. Requires a
+ * set-associative array whose candidate order is way order.
+ */
+
+#ifndef FSCACHE_PARTITION_WAY_PARTITION_SCHEME_HH
+#define FSCACHE_PARTITION_WAY_PARTITION_SCHEME_HH
+
+#include <vector>
+
+#include "partition/partition_scheme.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class WayPartitionScheme : public PartitionScheme
+{
+  public:
+    /** @param ways associativity of the array it will run on. */
+    explicit WayPartitionScheme(std::uint32_t ways);
+
+    void bind(PartitionOps *ops, std::uint32_t num_parts) override;
+    void setTarget(PartId part, std::uint32_t lines) override;
+
+    std::uint32_t selectVictim(CandidateVec &cands,
+                               PartId incoming) override;
+
+    LineId pickFreeSlot(const std::vector<LineId> &cand_slots,
+                        const TagStore &tags,
+                        PartId incoming) const override;
+
+    /** Owner partition of a way (after target assignment). */
+    PartId wayOwner(std::uint32_t way) const { return owner_[way]; }
+
+    std::string name() const override { return "waypart"; }
+
+  private:
+    void assignWays();
+
+    std::uint32_t ways_;
+    std::vector<PartId> owner_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_PARTITION_WAY_PARTITION_SCHEME_HH

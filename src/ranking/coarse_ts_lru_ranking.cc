@@ -1,0 +1,89 @@
+#include "ranking/coarse_ts_lru_ranking.hh"
+
+#include <algorithm>
+
+#include "cache/tag_store.hh"
+#include "common/log.hh"
+
+namespace fscache
+{
+
+CoarseTsLruRanking::CoarseTsLruRanking(LineId num_lines,
+                                       const TagStore *tags,
+                                       std::uint32_t granularity_div,
+                                       std::uint32_t ts_bits)
+    : TreapRankingBase(num_lines), tags_(tags),
+      granularityDiv_(granularity_div),
+      tsMask_((1u << ts_bits) - 1), ts_(num_lines, 0)
+{
+    fs_assert(tags != nullptr, "coarse LRU needs a tag store");
+    fs_assert(ts_bits >= 1 && ts_bits <= 16, "bad timestamp width");
+    fs_assert(granularity_div >= 1, "bad granularity divisor");
+}
+
+CoarseTsLruRanking::PartState &
+CoarseTsLruRanking::partState(PartId part)
+{
+    if (part >= parts_.size())
+        parts_.resize(part + 1);
+    return parts_[part];
+}
+
+void
+CoarseTsLruRanking::touch(LineId id, PartId part)
+{
+    PartState &st = partState(part);
+    ts_[id] = static_cast<std::uint16_t>(st.currentTs);
+
+    // Advance the partition clock every K accesses, K tracking the
+    // partition's *current* size so the 8-bit range always spans
+    // roughly granularityDiv_ "generations" of the partition.
+    ++st.accessesSinceBump;
+    std::uint32_t k = std::max<std::uint32_t>(
+        1, tags_->partSize(part) / granularityDiv_);
+    if (st.accessesSinceBump >= k) {
+        st.currentTs = (st.currentTs + 1) & tsMask_;
+        st.accessesSinceBump = 0;
+    }
+}
+
+void
+CoarseTsLruRanking::onInstall(LineId id, PartId part, AccessTime)
+{
+    place(id, part, ++clockShadow_);
+    touch(id, part);
+}
+
+void
+CoarseTsLruRanking::onHit(LineId id, AccessTime)
+{
+    reKey(id, ++clockShadow_);
+    touch(id, partOf(id));
+}
+
+void
+CoarseTsLruRanking::onRetag(LineId id, PartId new_part)
+{
+    TreapRankingBase::onRetag(id, new_part);
+    // The raw timestamp is kept; distances are now measured against
+    // the new partition's clock, as they would be in hardware.
+}
+
+double
+CoarseTsLruRanking::schemeFutility(LineId id) const
+{
+    return static_cast<double>(tsDistance(id)) /
+           static_cast<double>(tsMask_);
+}
+
+std::uint32_t
+CoarseTsLruRanking::tsDistance(LineId id) const
+{
+    fs_assert(present(id), "ts distance of an absent line");
+    PartId part = partOf(id);
+    std::uint32_t cur =
+        part < parts_.size() ? parts_[part].currentTs : 0;
+    return (cur - ts_[id]) & tsMask_;
+}
+
+} // namespace fscache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Coarse-grain timestamp-based LRU (paper Section V.A; originally
+ * from the zcache work [17]).
+ *
+ * Each partition has an 8-bit current timestamp, incremented every
+ * K accesses to that partition, K = partitionSize / 16. A line is
+ * tagged with its partition's current timestamp on install and on
+ * every hit. The scheme-visible futility of a line is the unsigned
+ * 8-bit distance (currentTS - lineTS) % 256, normalized to [0, 1].
+ *
+ * The exact (treap-backed) LRU order is tracked alongside so
+ * statistics report the true rank futility; the scheme only ever
+ * sees the coarse estimate, exactly like the paper's hardware.
+ */
+
+#ifndef FSCACHE_RANKING_COARSE_TS_LRU_RANKING_HH
+#define FSCACHE_RANKING_COARSE_TS_LRU_RANKING_HH
+
+#include <vector>
+
+#include "ranking/treap_ranking_base.hh"
+
+namespace fscache
+{
+
+class TagStore;
+
+/** See file comment. */
+class CoarseTsLruRanking : public TreapRankingBase
+{
+  public:
+    /**
+     * @param num_lines line slots
+     * @param tags tag store (for partition sizes; not owned)
+     * @param granularity_div K = partSize / granularity_div
+     * @param ts_bits timestamp width (<= 16)
+     */
+    CoarseTsLruRanking(LineId num_lines, const TagStore *tags,
+                       std::uint32_t granularity_div = 16,
+                       std::uint32_t ts_bits = 8);
+
+    void onInstall(LineId id, PartId part, AccessTime) override;
+    void onHit(LineId id, AccessTime) override;
+    void onRetag(LineId id, PartId new_part) override;
+
+    double schemeFutility(LineId id) const override;
+
+    std::string name() const override { return "coarse-ts-lru"; }
+
+    /** Raw timestamp distance (0 .. 2^tsBits - 1), for the schemes
+     *  that scale integer futility by bit shifts. */
+    std::uint32_t tsDistance(LineId id) const;
+
+    std::uint32_t tsMax() const { return tsMask_; }
+
+    /** Current timestamp of a partition (for tests). */
+    std::uint32_t
+    currentTs(PartId part) const
+    {
+        return part < parts_.size() ? parts_[part].currentTs : 0;
+    }
+
+  private:
+    struct PartState
+    {
+        std::uint32_t currentTs = 0;
+        std::uint32_t accessesSinceBump = 0;
+    };
+
+    PartState &partState(PartId part);
+    void touch(LineId id, PartId part);
+
+    const TagStore *tags_;
+    std::uint32_t granularityDiv_;
+    std::uint32_t tsMask_;
+    std::vector<std::uint16_t> ts_;
+    std::vector<PartState> parts_;
+
+    /** Exact-recency shadow clock feeding the stats treap. */
+    std::uint64_t clockShadow_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_COARSE_TS_LRU_RANKING_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exact LRU futility ranking: lines ranked by last access time.
+ */
+
+#ifndef FSCACHE_RANKING_EXACT_LRU_RANKING_HH
+#define FSCACHE_RANKING_EXACT_LRU_RANKING_HH
+
+#include "ranking/treap_ranking_base.hh"
+
+namespace fscache
+{
+
+/** Exact (full-precision) LRU. schemeFutility == exactFutility. */
+class ExactLruRanking : public TreapRankingBase
+{
+  public:
+    explicit ExactLruRanking(LineId num_lines)
+        : TreapRankingBase(num_lines)
+    {
+    }
+
+    void
+    onInstall(LineId id, PartId part, AccessTime) override
+    {
+        place(id, part, ++clock_);
+    }
+
+    void
+    onHit(LineId id, AccessTime) override
+    {
+        reKey(id, ++clock_);
+    }
+
+    double
+    schemeFutility(LineId id) const override
+    {
+        return exactFutility(id);
+    }
+
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_EXACT_LRU_RANKING_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Futility ranking interface (the paper's "Futility Ranking"
+ * component, Section III.A).
+ *
+ * A ranking maintains a strict total order of line uselessness
+ * within each partition and exposes two futility views:
+ *
+ *  - schemeFutility(): the estimate a hardware scheme would see,
+ *    normalized to [0, 1] (e.g. 8-bit coarse-timestamp distance /
+ *    255). Partitioning schemes decide with this.
+ *  - exactFutility(): the true normalized rank f = r / M in (0, 1].
+ *    Statistics (AEF, associativity CDFs) always use this, matching
+ *    the paper's evaluation of the feedback design against the exact
+ *    futility definition.
+ */
+
+#ifndef FSCACHE_RANKING_FUTILITY_RANKING_HH
+#define FSCACHE_RANKING_FUTILITY_RANKING_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class FutilityRanking
+{
+  public:
+    virtual ~FutilityRanking() = default;
+
+    /**
+     * A line was installed. Called after the tag store reflects the
+     * install. @param next_use OPT annotation (ignored by most).
+     */
+    virtual void onInstall(LineId id, PartId part,
+                           AccessTime next_use) = 0;
+
+    /** The line was hit. */
+    virtual void onHit(LineId id, AccessTime next_use) = 0;
+
+    /** The line is about to be evicted (still valid in the tags). */
+    virtual void onEvict(LineId id) = 0;
+
+    /** The line moved slots (zcache relocation); `to` was free. */
+    virtual void onRelocate(LineId from, LineId to) = 0;
+
+    /**
+     * The line moved partitions (Vantage demotion); its rank
+     * metadata follows it into the new partition.
+     */
+    virtual void onRetag(LineId id, PartId new_part) = 0;
+
+    /** Scheme-visible futility estimate in [0, 1]. */
+    virtual double schemeFutility(LineId id) const = 0;
+
+    /** Exact normalized futility rank in (0, 1]. */
+    virtual double exactFutility(LineId id) const = 0;
+
+    /** Least useful resident line of a partition, or kInvalidLine. */
+    virtual LineId worstIn(PartId part) const = 0;
+
+    /** Partition a resident line is ranked under. */
+    virtual PartId partOf(LineId id) const = 0;
+
+    /** Resident line count the ranking tracks for a partition. */
+    virtual std::uint32_t partLines(PartId part) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_FUTILITY_RANKING_HH

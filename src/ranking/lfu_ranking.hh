@@ -1,0 +1,70 @@
+/**
+ * @file
+ * LFU futility ranking: lines ranked by access frequency, recency
+ * breaking ties (so the ranking stays a strict total order, as the
+ * paper's model requires).
+ */
+
+#ifndef FSCACHE_RANKING_LFU_RANKING_HH
+#define FSCACHE_RANKING_LFU_RANKING_HH
+
+#include <vector>
+
+#include "ranking/treap_ranking_base.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class LfuRanking : public TreapRankingBase
+{
+  public:
+    explicit LfuRanking(LineId num_lines)
+        : TreapRankingBase(num_lines), freq_(num_lines, 0)
+    {
+    }
+
+    void
+    onInstall(LineId id, PartId part, AccessTime) override
+    {
+        freq_[id] = 1;
+        place(id, part, usefulness(id));
+    }
+
+    void
+    onHit(LineId id, AccessTime) override
+    {
+        if (freq_[id] < kFreqCap)
+            ++freq_[id];
+        reKey(id, usefulness(id));
+    }
+
+    double
+    schemeFutility(LineId id) const override
+    {
+        return exactFutility(id);
+    }
+
+    std::string name() const override { return "lfu"; }
+
+    std::uint32_t frequency(LineId id) const { return freq_[id]; }
+
+  private:
+    /** Frequency dominates; recency (a global clock) breaks ties. */
+    std::uint64_t
+    usefulness(LineId id)
+    {
+        ++clock_;
+        return (static_cast<std::uint64_t>(freq_[id]) << 44) |
+               (clock_ & ((1ull << 44) - 1));
+    }
+
+    static constexpr std::uint32_t kFreqCap = (1u << 19) - 1;
+
+    std::vector<std::uint32_t> freq_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_LFU_RANKING_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * OPT (Belady) futility ranking: lines ranked by time to next
+ * reference; the line reused farthest in the future is the most
+ * futile, never-reused lines most of all (paper Section III.A).
+ *
+ * Requires traces annotated by annotateNextUse().
+ */
+
+#ifndef FSCACHE_RANKING_OPT_RANKING_HH
+#define FSCACHE_RANKING_OPT_RANKING_HH
+
+#include "ranking/treap_ranking_base.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class OptRanking : public TreapRankingBase
+{
+  public:
+    explicit OptRanking(LineId num_lines)
+        : TreapRankingBase(num_lines)
+    {
+    }
+
+    void
+    onInstall(LineId id, PartId part, AccessTime next_use) override
+    {
+        place(id, part, usefulness(next_use));
+    }
+
+    void
+    onHit(LineId id, AccessTime next_use) override
+    {
+        reKey(id, usefulness(next_use));
+    }
+
+    double
+    schemeFutility(LineId id) const override
+    {
+        return exactFutility(id);
+    }
+
+    std::string name() const override { return "opt"; }
+
+  private:
+    /** Sooner next use => larger usefulness; never-used => 0. */
+    static std::uint64_t
+    usefulness(AccessTime next_use)
+    {
+        return kNeverUsed - next_use;
+    }
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_OPT_RANKING_HH

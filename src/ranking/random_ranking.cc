@@ -1,0 +1,4 @@
+#include "ranking/random_ranking.hh"
+
+// Header-only implementation; this translation unit anchors the
+// class for the library.

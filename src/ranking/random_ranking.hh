@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Random futility ranking: every futility query returns a fresh
+ * uniform draw, so "evict the most futile candidate" selects a
+ * uniformly random victim. This is the worst-case associativity
+ * baseline — the diagonal eviction-futility CDF F(x) = x with
+ * AEF = 0.5 (paper Section III.C's N >= R limit).
+ *
+ * (A per-residence *stable* random value would NOT give the
+ * diagonal: high-valued lines die young, so survivors skew low and
+ * evictions skew toward young, useful lines.)
+ *
+ * Exact futility is still reported against true LRU order.
+ */
+
+#ifndef FSCACHE_RANKING_RANDOM_RANKING_HH
+#define FSCACHE_RANKING_RANDOM_RANKING_HH
+
+#include "common/random.hh"
+#include "ranking/treap_ranking_base.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class RandomRanking : public TreapRankingBase
+{
+  public:
+    RandomRanking(LineId num_lines, Rng rng)
+        : TreapRankingBase(num_lines), rng_(rng)
+    {
+    }
+
+    void
+    onInstall(LineId id, PartId part, AccessTime) override
+    {
+        place(id, part, ++clock_);
+    }
+
+    void
+    onHit(LineId id, AccessTime) override
+    {
+        reKey(id, ++clock_);
+    }
+
+    double
+    schemeFutility(LineId) const override
+    {
+        return rng_.uniform();
+    }
+
+    std::string name() const override { return "random"; }
+
+  private:
+    mutable Rng rng_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_RANDOM_RANKING_HH

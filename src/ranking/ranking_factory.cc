@@ -1,0 +1,56 @@
+#include "ranking/ranking_factory.hh"
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "ranking/coarse_ts_lru_ranking.hh"
+#include "ranking/exact_lru_ranking.hh"
+#include "ranking/lfu_ranking.hh"
+#include "ranking/opt_ranking.hh"
+#include "ranking/random_ranking.hh"
+#include "ranking/rrip_ranking.hh"
+
+namespace fscache
+{
+
+RankKind
+parseRankKind(const std::string &name)
+{
+    if (name == "lru")
+        return RankKind::ExactLru;
+    if (name == "coarse")
+        return RankKind::CoarseTsLru;
+    if (name == "lfu")
+        return RankKind::Lfu;
+    if (name == "opt")
+        return RankKind::Opt;
+    if (name == "random")
+        return RankKind::Random;
+    if (name == "rrip")
+        return RankKind::Rrip;
+    fatal("unknown ranking kind '%s' "
+          "(want lru|coarse|lfu|opt|random|rrip)", name.c_str());
+}
+
+std::unique_ptr<FutilityRanking>
+makeRanking(RankKind kind, LineId num_lines, const TagStore *tags,
+            std::uint64_t seed)
+{
+    switch (kind) {
+      case RankKind::ExactLru:
+        return std::make_unique<ExactLruRanking>(num_lines);
+      case RankKind::CoarseTsLru:
+        return std::make_unique<CoarseTsLruRanking>(num_lines, tags);
+      case RankKind::Lfu:
+        return std::make_unique<LfuRanking>(num_lines);
+      case RankKind::Opt:
+        return std::make_unique<OptRanking>(num_lines);
+      case RankKind::Random:
+        return std::make_unique<RandomRanking>(num_lines,
+                                               Rng(mix64(seed)));
+      case RankKind::Rrip:
+        return std::make_unique<RripRanking>(num_lines);
+    }
+    panic("unreachable ranking kind");
+}
+
+} // namespace fscache

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Config-driven construction of futility rankings.
+ */
+
+#ifndef FSCACHE_RANKING_RANKING_FACTORY_HH
+#define FSCACHE_RANKING_RANKING_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "ranking/futility_ranking.hh"
+
+namespace fscache
+{
+
+class TagStore;
+
+/** Supported ranking policies. */
+enum class RankKind
+{
+    ExactLru,
+    CoarseTsLru,
+    Lfu,
+    Opt,
+    Random,
+    Rrip,
+};
+
+/** Parse "lru" / "coarse" / "lfu" / "opt" / "random" / "rrip". */
+RankKind parseRankKind(const std::string &name);
+
+/**
+ * Build a ranking.
+ *
+ * @param kind policy
+ * @param num_lines line slots
+ * @param tags tag store (required by CoarseTsLru; not owned)
+ * @param seed randomness seed (Random only)
+ */
+std::unique_ptr<FutilityRanking>
+makeRanking(RankKind kind, LineId num_lines, const TagStore *tags,
+            std::uint64_t seed = 1);
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_RANKING_FACTORY_HH

@@ -1,0 +1,114 @@
+#include "ranking/treap_ranking_base.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+TreapRankingBase::TreapRankingBase(LineId num_lines)
+    : keyOf_(num_lines), partOf_(num_lines, kInvalidPart),
+      present_(num_lines, false)
+{
+}
+
+OrderStatTreap<TreapRankingBase::Key> &
+TreapRankingBase::treapFor(PartId part)
+{
+    if (part >= treaps_.size()) {
+        treaps_.reserve(part + 1);
+        while (treaps_.size() <= part)
+            treaps_.emplace_back(0x74726561ull + treaps_.size());
+    }
+    return treaps_[part];
+}
+
+const OrderStatTreap<TreapRankingBase::Key> *
+TreapRankingBase::treapFor(PartId part) const
+{
+    return part < treaps_.size() ? &treaps_[part] : nullptr;
+}
+
+void
+TreapRankingBase::place(LineId id, PartId part, std::uint64_t primary)
+{
+    fs_assert(!present_[id], "placing an already-present line");
+    Key key{primary, id};
+    keyOf_[id] = key;
+    partOf_[id] = part;
+    present_[id] = true;
+    treapFor(part).insert(key);
+}
+
+void
+TreapRankingBase::reKey(LineId id, std::uint64_t primary)
+{
+    fs_assert(present_[id], "rekeying an absent line");
+    auto &treap = treapFor(partOf_[id]);
+    treap.erase(keyOf_[id]);
+    keyOf_[id] = Key{primary, id};
+    treap.insert(keyOf_[id]);
+}
+
+void
+TreapRankingBase::remove(LineId id)
+{
+    fs_assert(present_[id], "removing an absent line");
+    treapFor(partOf_[id]).erase(keyOf_[id]);
+    present_[id] = false;
+    partOf_[id] = kInvalidPart;
+}
+
+void
+TreapRankingBase::onEvict(LineId id)
+{
+    remove(id);
+}
+
+void
+TreapRankingBase::onRelocate(LineId from, LineId to)
+{
+    fs_assert(present_[from] && !present_[to],
+              "bad relocation in ranking");
+    // Keys embed the line id for uniqueness, so the key changes.
+    PartId part = partOf_[from];
+    std::uint64_t primary = keyOf_[from].primary;
+    remove(from);
+    place(to, part, primary);
+}
+
+void
+TreapRankingBase::onRetag(LineId id, PartId new_part)
+{
+    fs_assert(present_[id], "retag of an absent line");
+    std::uint64_t primary = keyOf_[id].primary;
+    remove(id);
+    place(id, new_part, primary);
+}
+
+double
+TreapRankingBase::exactFutility(LineId id) const
+{
+    fs_assert(present_[id], "futility of an absent line");
+    const auto *treap = treapFor(partOf_[id]);
+    std::uint32_t size = treap->size();
+    std::uint32_t rank = size - treap->countLess(keyOf_[id]);
+    return static_cast<double>(rank) / static_cast<double>(size);
+}
+
+LineId
+TreapRankingBase::worstIn(PartId part) const
+{
+    const auto *treap = treapFor(part);
+    if (treap == nullptr || treap->empty())
+        return kInvalidLine;
+    return treap->minKey().line;
+}
+
+std::uint32_t
+TreapRankingBase::partLines(PartId part) const
+{
+    const auto *treap = treapFor(part);
+    return treap == nullptr ? 0 : treap->size();
+}
+
+} // namespace fscache

@@ -1,0 +1,46 @@
+#include "sim/memory_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+MemoryModel::MemoryModel(MemoryConfig cfg)
+    : cfg_(cfg)
+{
+    fs_assert(cfg_.bytesPerCycle > 0.0, "bandwidth must be positive");
+    serviceCycles_ = static_cast<Cycle>(
+        cfg_.lineBytes / cfg_.bytesPerCycle + 0.5);
+    if (serviceCycles_ == 0)
+        serviceCycles_ = 1;
+}
+
+Cycle
+MemoryModel::request(Cycle now)
+{
+    Cycle start = std::max(now, nextFree_);
+    nextFree_ = start + serviceCycles_;
+    ++requests_;
+    totalQueue_ += start - now;
+    return start + cfg_.zeroLoadLatency;
+}
+
+double
+MemoryModel::avgQueueing() const
+{
+    return requests_ == 0 ? 0.0
+                          : static_cast<double>(totalQueue_) /
+                                static_cast<double>(requests_);
+}
+
+void
+MemoryModel::reset()
+{
+    nextFree_ = 0;
+    requests_ = 0;
+    totalQueue_ = 0;
+}
+
+} // namespace fscache

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Off-chip memory model: fixed zero-load latency plus a shared
+ * bandwidth channel with FCFS queueing (paper Table II: 200 cycles,
+ * 32 GB/s peak).
+ */
+
+#ifndef FSCACHE_SIM_MEMORY_MODEL_HH
+#define FSCACHE_SIM_MEMORY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** Memory channel configuration. */
+struct MemoryConfig
+{
+    Cycle zeroLoadLatency = 200;
+    double bytesPerCycle = 16.0; ///< 32 GB/s at 2 GHz
+    std::uint32_t lineBytes = 64;
+};
+
+/** See file comment. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(MemoryConfig cfg = MemoryConfig{});
+
+    /**
+     * Issue a line fill at time `now`; returns the completion time
+     * (now + queueing + zero-load latency).
+     */
+    Cycle request(Cycle now);
+
+    std::uint64_t requests() const { return requests_; }
+
+    /** Average cycles spent queueing for the channel. */
+    double avgQueueing() const;
+
+    void reset();
+
+  private:
+    MemoryConfig cfg_;
+    Cycle serviceCycles_;
+    Cycle nextFree_ = 0;
+    std::uint64_t requests_ = 0;
+    Cycle totalQueue_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_SIM_MEMORY_MODEL_HH

@@ -1,0 +1,69 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+namespace
+{
+
+void
+checkInputs(const std::vector<double> &shared,
+            const std::vector<double> &alone)
+{
+    fs_assert(!shared.empty(), "metrics need at least one thread");
+    fs_assert(shared.size() == alone.size(),
+              "shared/alone IPC vectors differ in size");
+    for (std::size_t i = 0; i < shared.size(); ++i)
+        fs_assert(shared[i] > 0.0 && alone[i] > 0.0,
+                  "IPCs must be positive");
+}
+
+} // namespace
+
+double
+throughputMetric(const std::vector<double> &ipc_shared)
+{
+    double total = 0.0;
+    for (double ipc : ipc_shared)
+        total += ipc;
+    return total;
+}
+
+double
+weightedSpeedup(const std::vector<double> &ipc_shared,
+                const std::vector<double> &ipc_alone)
+{
+    checkInputs(ipc_shared, ipc_alone);
+    double total = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i)
+        total += ipc_shared[i] / ipc_alone[i];
+    return total;
+}
+
+double
+harmonicMeanSpeedup(const std::vector<double> &ipc_shared,
+                    const std::vector<double> &ipc_alone)
+{
+    checkInputs(ipc_shared, ipc_alone);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i)
+        denom += ipc_alone[i] / ipc_shared[i];
+    return static_cast<double>(ipc_shared.size()) / denom;
+}
+
+double
+maxSlowdown(const std::vector<double> &ipc_shared,
+            const std::vector<double> &ipc_alone)
+{
+    checkInputs(ipc_shared, ipc_alone);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i)
+        worst = std::max(worst, ipc_alone[i] / ipc_shared[i]);
+    return worst;
+}
+
+} // namespace fscache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Multiprogram performance metrics used in partitioning studies:
+ * system throughput (sum of IPCs), weighted speedup (Snavely &
+ * Tullsen), harmonic-mean-of-speedups fairness (Luo et al.), and
+ * per-thread slowdown summaries.
+ *
+ * All take the threads' shared-mode IPCs plus their alone-mode
+ * (private-cache baseline) IPCs.
+ */
+
+#ifndef FSCACHE_SIM_METRICS_HH
+#define FSCACHE_SIM_METRICS_HH
+
+#include <vector>
+
+namespace fscache
+{
+
+/** Sum of shared-mode IPCs. */
+double throughputMetric(const std::vector<double> &ipc_shared);
+
+/** Weighted speedup: sum_i (IPC_shared_i / IPC_alone_i). */
+double weightedSpeedup(const std::vector<double> &ipc_shared,
+                       const std::vector<double> &ipc_alone);
+
+/**
+ * Harmonic mean of per-thread speedups:
+ * N / sum_i (IPC_alone_i / IPC_shared_i). Balances throughput and
+ * fairness.
+ */
+double harmonicMeanSpeedup(const std::vector<double> &ipc_shared,
+                           const std::vector<double> &ipc_alone);
+
+/** Largest per-thread slowdown: max_i (IPC_alone_i / IPC_shared_i). */
+double maxSlowdown(const std::vector<double> &ipc_shared,
+                   const std::vector<double> &ipc_alone);
+
+} // namespace fscache
+
+#endif // FSCACHE_SIM_METRICS_HH

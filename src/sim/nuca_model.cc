@@ -1,0 +1,58 @@
+#include "sim/nuca_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace fscache
+{
+
+NucaModel::NucaModel(NucaConfig cfg)
+    : cfg_(cfg), bankFree_(cfg.banks, 0)
+{
+    fs_assert(cfg_.banks >= 1, "need at least one bank");
+}
+
+std::uint32_t
+NucaModel::bankOf(Addr addr) const
+{
+    // Hash the line address so strided streams spread over banks.
+    return static_cast<std::uint32_t>(mix64(addr) % cfg_.banks);
+}
+
+Cycle
+NucaModel::access(std::uint32_t core, Addr addr, Cycle now)
+{
+    std::uint32_t bank = bankOf(addr);
+    std::uint32_t core_slot = core % cfg_.banks;
+    std::uint32_t hops = core_slot > bank ? core_slot - bank
+                                          : bank - core_slot;
+
+    Cycle arrive = now + hops * cfg_.hopLatency;
+    Cycle start = std::max(arrive, bankFree_[bank]);
+    bankFree_[bank] = start + cfg_.bankServiceCycles;
+
+    ++accesses_;
+    totalQueue_ += start - arrive;
+    // Response travels back over the same hops.
+    return start + cfg_.bankLatency + hops * cfg_.hopLatency;
+}
+
+double
+NucaModel::avgBankQueueing() const
+{
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(totalQueue_) /
+                                static_cast<double>(accesses_);
+}
+
+void
+NucaModel::reset()
+{
+    std::fill(bankFree_.begin(), bankFree_.end(), 0);
+    accesses_ = 0;
+    totalQueue_ = 0;
+}
+
+} // namespace fscache

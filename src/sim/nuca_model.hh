@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Banked NUCA model (paper Table II: the 8MB L2 is a 4-bank NUCA
+ * with a 4-cycle average L1-to-L2 hop).
+ *
+ * Each bank serves one access at a time; an access to bank b at
+ * time t waits for the bank, pays the bank access latency, plus a
+ * core-to-bank hop distance. The flat hitLatency in TimingConfig is
+ * the cheap approximation; this model adds bank contention for the
+ * studies that need it.
+ */
+
+#ifndef FSCACHE_SIM_NUCA_MODEL_HH
+#define FSCACHE_SIM_NUCA_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** NUCA configuration. */
+struct NucaConfig
+{
+    std::uint32_t banks = 4;
+
+    /** Bank access (tag + data) latency. */
+    Cycle bankLatency = 8;
+
+    /** Cycles per hop; hop count = |core mod banks - bank|. */
+    Cycle hopLatency = 2;
+
+    /** Bank service occupancy per access. */
+    Cycle bankServiceCycles = 2;
+};
+
+/** See file comment. */
+class NucaModel
+{
+  public:
+    explicit NucaModel(NucaConfig cfg = NucaConfig{});
+
+    /** Bank an address maps to. */
+    std::uint32_t bankOf(Addr addr) const;
+
+    /**
+     * Perform one L2 access from `core` at time `now`; returns the
+     * completion time (queueing + hops + bank latency).
+     */
+    Cycle access(std::uint32_t core, Addr addr, Cycle now);
+
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Average cycles spent waiting for a busy bank. */
+    double avgBankQueueing() const;
+
+    void reset();
+
+  private:
+    NucaConfig cfg_;
+    std::vector<Cycle> bankFree_;
+    std::uint64_t accesses_ = 0;
+    Cycle totalQueue_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_SIM_NUCA_MODEL_HH

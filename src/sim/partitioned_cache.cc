@@ -1,0 +1,182 @@
+#include "sim/partitioned_cache.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+namespace
+{
+
+/** Deviation histogram support: +/- span lines around the target. */
+constexpr double kDevSpan = 8192.0;
+constexpr std::uint32_t kDevBins = 2048;
+
+} // namespace
+
+PartitionedCache::PartitionedCache(
+    std::unique_ptr<CacheArray> array,
+    std::unique_ptr<FutilityRanking> ranking,
+    std::unique_ptr<PartitionScheme> scheme, std::uint32_t num_parts)
+    : array_(std::move(array)), ranking_(std::move(ranking)),
+      scheme_(std::move(scheme)), numParts_(num_parts)
+{
+    fs_assert(array_ && ranking_ && scheme_,
+              "cache needs array, ranking and scheme");
+    fs_assert(num_parts >= 1, "need at least one partition");
+    stats_.resize(numParts_);
+    assocDist_.resize(numParts_);
+    for (std::uint32_t p = 0; p < numParts_; ++p)
+        deviation_.emplace_back(0.0, kDevSpan, kDevBins);
+    scheme_->bind(this, numParts_);
+}
+
+void
+PartitionedCache::setTarget(PartId part, std::uint32_t lines)
+{
+    fs_assert(part < numParts_, "target for unknown partition");
+    scheme_->setTarget(part, lines);
+    deviation_[part].setTarget(lines);
+}
+
+void
+PartitionedCache::setTargets(const std::vector<std::uint32_t> &targets)
+{
+    fs_assert(targets.size() == numParts_,
+              "target vector size %zu != partitions %u",
+              targets.size(), numParts_);
+    for (std::uint32_t p = 0; p < numParts_; ++p)
+        setTarget(static_cast<PartId>(p), targets[p]);
+}
+
+void
+PartitionedCache::demote(LineId line, PartId to_part)
+{
+    // Only the tag (the partition the scheme sees) changes; the
+    // ranking keeps the line ordered under its owner so eviction
+    // futility is still measured against the owning thread.
+    array_->tags().retag(line, to_part);
+}
+
+void
+PartitionedCache::buildCandidates(Addr addr)
+{
+    (void)addr;
+    TagStore &tags = array_->tags();
+    candBuf_.clear();
+
+    if (array_->fullyAssociative()) {
+        // Worst line per partition (incl. a possible pseudo-
+        // partition used by schemes, e.g. Vantage's unmanaged).
+        for (std::uint32_t p = 0; p <= numParts_; ++p) {
+            LineId worst = ranking_->worstIn(static_cast<PartId>(p));
+            if (worst == kInvalidLine)
+                continue;
+            candBuf_.push_back({worst, tags.line(worst).part,
+                                ranking_->schemeFutility(worst)});
+        }
+        return;
+    }
+
+    // slotBuf_ already holds this address's candidates from the
+    // free-slot probe in access(); re-collecting would repeat the
+    // array walk (zcache) for nothing.
+    for (LineId slot : slotBuf_) {
+        const Line &l = tags.line(slot);
+        if (l.valid) {
+            candBuf_.push_back(
+                {slot, l.part, ranking_->schemeFutility(slot)});
+        } else {
+            candBuf_.push_back({slot, kInvalidPart, -1.0});
+        }
+    }
+}
+
+AccessOutcome
+PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
+{
+    fs_assert(part < numParts_, "access for unknown partition");
+    AccessOutcome out;
+    TagStore &tags = array_->tags();
+
+    LineId id = tags.lookup(addr);
+    if (id != kInvalidLine) {
+        ranking_->onHit(id, next_use);
+        ++stats_[part].hits;
+        out.hit = true;
+        return out;
+    }
+    ++stats_[part].misses;
+
+    // Placement without eviction while there is room.
+    LineId slot = kInvalidLine;
+    if (array_->unrestrictedPlacement()) {
+        slot = tags.popFree();
+        // slotBuf_ was not filled by a free-slot probe; collect
+        // now if the eviction path will need candidates.
+        if (slot == kInvalidLine && !array_->fullyAssociative())
+            array_->collectCandidates(addr, slotBuf_);
+    } else {
+        array_->collectCandidates(addr, slotBuf_);
+        slot = scheme_->pickFreeSlot(slotBuf_, tags, part);
+    }
+
+    if (slot == kInvalidLine) {
+        // Eviction path.
+        buildCandidates(addr);
+        fs_assert(!candBuf_.empty(), "no replacement candidates");
+        std::uint32_t idx = scheme_->selectVictim(candBuf_, part);
+        fs_assert(idx < candBuf_.size(), "victim index out of range");
+        LineId victim = candBuf_[idx].line;
+        fs_assert(tags.line(victim).valid, "scheme chose an invalid "
+                  "slot as victim");
+
+        PartId owner = ranking_->partOf(victim);
+        PartId tag_part = tags.line(victim).part;
+        double fut = ranking_->exactFutility(victim);
+        if (owner < numParts_) {
+            assocDist_[owner].recordEviction(fut);
+            ++stats_[owner].evictions;
+        }
+        out.evicted = true;
+        out.victimOwner = owner;
+        out.victimFutility = fut;
+
+        ranking_->onEvict(victim);
+        tags.evict(victim);
+        scheme_->onEviction(tag_part);
+
+        slot = array_->makeRoom(addr, victim,
+                                [this](LineId from, LineId to) {
+                                    ranking_->onRelocate(from, to);
+                                });
+    }
+
+    tags.install(slot, addr, part);
+    ranking_->onInstall(slot, part, next_use);
+    ++stats_[part].insertions;
+    scheme_->onInsertion(part);
+
+    if (out.evicted && ++evictionsSinceSample_ >=
+                           devSampleInterval_) {
+        // Sample every partition's size (the paper's Figure 5
+        // discipline samples at every eviction; see
+        // setDeviationSampleInterval for sparse sampling).
+        evictionsSinceSample_ = 0;
+        for (std::uint32_t p = 0; p < numParts_; ++p)
+            deviation_[p].sample(tags.partSize(static_cast<PartId>(p)));
+    }
+    return out;
+}
+
+void
+PartitionedCache::resetStats()
+{
+    for (std::uint32_t p = 0; p < numParts_; ++p) {
+        stats_[p] = CachePartStats{};
+        assocDist_[p].clear();
+        deviation_[p].clear();
+    }
+}
+
+} // namespace fscache

@@ -1,0 +1,21 @@
+#include "sim/system_config.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+std::string
+SystemConfig::summary() const
+{
+    return strprintf(
+        "%u cores, %lluKB L2 (%u-way, %uB lines, %u lines), "
+        "hit %llu cyc, mem %llu cyc zero-load, %.0f B/cyc BW",
+        cores, static_cast<unsigned long long>(l2Bytes >> 10), l2Ways,
+        lineBytes, l2Lines(),
+        static_cast<unsigned long long>(l2HitLatency),
+        static_cast<unsigned long long>(memLatency),
+        memBytesPerCycle);
+}
+
+} // namespace fscache

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * System configuration defaults (paper Table II).
+ *
+ * 2 GHz in-order 32-core CMP; 8MB unified shared 16-way L2 with
+ * 64B lines and XOR indexing; 8-cycle L2 access (the 4-cycle
+ * average L1-to-L2 NUCA hop folded in); 200-cycle zero-load memory
+ * latency; 32 GB/s peak memory bandwidth.
+ */
+
+#ifndef FSCACHE_SIM_SYSTEM_CONFIG_HH
+#define FSCACHE_SIM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+struct SystemConfig
+{
+    std::uint32_t cores = 32;
+    std::uint64_t l2Bytes = 8ull << 20;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t l2Ways = 16;
+
+    /** L2 access latency incl. the average L1-to-L2 NUCA hop. */
+    Cycle l2HitLatency = 8 + 4;
+
+    /** Zero-load memory latency. */
+    Cycle memLatency = 200;
+
+    /** Peak memory bandwidth in bytes per core cycle (32GB/s @2GHz). */
+    double memBytesPerCycle = 16.0;
+
+    /** L2 capacity in lines. */
+    LineId
+    l2Lines() const
+    {
+        return static_cast<LineId>(l2Bytes / lineBytes);
+    }
+
+    /** One-line summary for bench headers. */
+    std::string summary() const;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_SIM_SYSTEM_CONFIG_HH

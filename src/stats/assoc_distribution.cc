@@ -1,0 +1,23 @@
+#include "stats/assoc_distribution.hh"
+
+namespace fscache
+{
+
+AssocDistribution::AssocDistribution(std::uint32_t bins)
+    : hist_(0.0, 1.0, bins)
+{
+}
+
+std::vector<double>
+AssocDistribution::cdfCurve(std::uint32_t points) const
+{
+    std::vector<double> curve;
+    curve.reserve(points);
+    for (std::uint32_t i = 1; i <= points; ++i) {
+        double x = static_cast<double>(i) / points;
+        curve.push_back(hist_.cdfAt(x));
+    }
+    return curve;
+}
+
+} // namespace fscache

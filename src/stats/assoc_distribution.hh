@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Associativity distribution tracker (zcache-style, per the paper's
+ * Section III.A).
+ *
+ * The associativity of a partition is characterized by the
+ * probability distribution of the *exact normalized futility* of its
+ * evicted lines; the Average Eviction Futility (AEF) summarizes it.
+ * A fully associative partition always evicts futility 1.0 (AEF = 1);
+ * a random victim gives the diagonal CDF F(x) = x (AEF = 0.5); a
+ * non-partitioned cache with R uniform candidates follows
+ * F(x) = x^R (AEF = R / (R + 1)).
+ */
+
+#ifndef FSCACHE_STATS_ASSOC_DISTRIBUTION_HH
+#define FSCACHE_STATS_ASSOC_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace fscache
+{
+
+/** Eviction-futility distribution for one partition. */
+class AssocDistribution
+{
+  public:
+    /** @param bins resolution of the futility histogram. */
+    explicit AssocDistribution(std::uint32_t bins = 100);
+
+    /** Record the exact futility (in [0,1]) of an evicted line. */
+    void recordEviction(double futility) { hist_.add(futility); }
+
+    /** Average eviction futility. */
+    double aef() const { return hist_.mean(); }
+
+    /** Number of recorded evictions. */
+    std::uint64_t evictions() const { return hist_.samples(); }
+
+    /** CDF value P(futility <= x). */
+    double cdfAt(double x) const { return hist_.cdfAt(x); }
+
+    /**
+     * Sample the CDF at `points` evenly spaced x values in (0, 1],
+     * for plotting / table output.
+     */
+    std::vector<double> cdfCurve(std::uint32_t points) const;
+
+    void clear() { hist_.clear(); }
+
+    const Histogram &histogram() const { return hist_; }
+
+  private:
+    Histogram hist_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_STATS_ASSOC_DISTRIBUTION_HH

@@ -1,0 +1,42 @@
+#include "stats/deviation_tracker.hh"
+
+namespace fscache
+{
+
+DeviationTracker::DeviationTracker(double target, double span,
+                                   std::uint32_t bins)
+    : hist_(-span, span, bins), dev_(target)
+{
+}
+
+void
+DeviationTracker::setTarget(double target)
+{
+    dev_.setReference(target);
+}
+
+void
+DeviationTracker::sample(double actual_lines)
+{
+    dev_.add(actual_lines);
+    occ_.add(actual_lines);
+    hist_.add(actual_lines - dev_.reference());
+}
+
+double
+DeviationTracker::absDeviationCdf(double x) const
+{
+    // P(|dev| <= x) = F(x) - F(-x - epsilon); the histogram's bin
+    // resolution makes the open/closed boundary immaterial.
+    return hist_.cdfAt(x) - hist_.cdfAt(-x - 1e-9);
+}
+
+void
+DeviationTracker::clear()
+{
+    hist_.clear();
+    dev_.clear();
+    occ_.clear();
+}
+
+} // namespace fscache

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Partition size-deviation tracker (paper Figure 5 / Figure 7a).
+ *
+ * Samples a partition's actual size at every eviction (as the paper
+ * does) and records:
+ *  - the distribution of (actual - target), for the deviation CDF;
+ *  - the mean absolute deviation (MAD) about the target;
+ *  - a time-average occupancy, for the Figure 7a occupancy bars.
+ */
+
+#ifndef FSCACHE_STATS_DEVIATION_TRACKER_HH
+#define FSCACHE_STATS_DEVIATION_TRACKER_HH
+
+#include <cstdint>
+
+#include "stats/histogram.hh"
+#include "stats/running_stats.hh"
+
+namespace fscache
+{
+
+/** Deviation/occupancy statistics for a single partition. */
+class DeviationTracker
+{
+  public:
+    /**
+     * @param target target size in lines
+     * @param span half-width of the deviation histogram support, in
+     *             lines (samples outside are clamped)
+     * @param bins histogram resolution
+     */
+    DeviationTracker(double target = 0.0, double span = 512.0,
+                     std::uint32_t bins = 256);
+
+    void setTarget(double target);
+    double target() const { return dev_.reference(); }
+
+    /** Record the partition's actual size (in lines) at a sample point. */
+    void sample(double actual_lines);
+
+    /** Mean absolute deviation from target, in lines. */
+    double mad() const { return dev_.mad(); }
+
+    /** Mean signed deviation from target (occupancy bias), in lines. */
+    double bias() const { return dev_.bias(); }
+
+    /** Time-average occupancy, in lines. */
+    double meanOccupancy() const { return occ_.mean(); }
+
+    std::uint64_t samples() const { return occ_.samples(); }
+
+    /** CDF of |deviation| <= x lines. */
+    double absDeviationCdf(double x) const;
+
+    const Histogram &deviationHistogram() const { return hist_; }
+
+    void clear();
+
+  private:
+    Histogram hist_;
+    AbsDeviationStats dev_;
+    RunningStats occ_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_STATS_DEVIATION_TRACKER_HH

@@ -1,0 +1,43 @@
+#include "stats/gof_tests.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+double
+ksDistance(const Histogram &hist,
+           const std::function<double(double)> &reference_cdf)
+{
+    fs_assert(hist.samples() > 0, "KS needs samples");
+    double worst = 0.0;
+    double width = (hist.hi() - hist.lo()) / hist.bins();
+    std::uint64_t acc = 0;
+    for (std::uint32_t b = 0; b < hist.bins(); ++b) {
+        acc += hist.binCount(b);
+        double edge = hist.lo() + width * (b + 1);
+        double emp = static_cast<double>(acc) / hist.samples();
+        worst = std::max(worst,
+                         std::fabs(emp - reference_cdf(edge)));
+    }
+    return worst;
+}
+
+double
+chiSquareUniform(const Histogram &hist)
+{
+    fs_assert(hist.samples() > 0, "chi-square needs samples");
+    double expected =
+        static_cast<double>(hist.samples()) / hist.bins();
+    double stat = 0.0;
+    for (std::uint32_t b = 0; b < hist.bins(); ++b) {
+        double diff = hist.binCount(b) - expected;
+        stat += diff * diff / expected;
+    }
+    return stat;
+}
+
+} // namespace fscache

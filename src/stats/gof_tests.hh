@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Goodness-of-fit helpers for validating distribution claims
+ * (e.g. the x^R associativity law, candidate uniformity):
+ * Kolmogorov-Smirnov distance against a reference CDF and a
+ * chi-square uniformity statistic over histogram bins.
+ *
+ * These are testing utilities, not a statistics library: they
+ * return the raw statistic and leave the accept threshold to the
+ * caller (tests use generous thresholds since simulation samples
+ * are plentiful).
+ */
+
+#ifndef FSCACHE_STATS_GOF_TESTS_HH
+#define FSCACHE_STATS_GOF_TESTS_HH
+
+#include <functional>
+
+#include "stats/histogram.hh"
+
+namespace fscache
+{
+
+/**
+ * Kolmogorov-Smirnov distance between a histogram's empirical CDF
+ * and a reference CDF, evaluated at every bin edge:
+ * max_x |F_emp(x) - F_ref(x)|.
+ */
+double ksDistance(const Histogram &hist,
+                  const std::function<double(double)> &reference_cdf);
+
+/**
+ * Chi-square statistic of a histogram against the uniform
+ * distribution over its support. For k bins and n samples the
+ * expected count is n/k per bin; returns
+ * sum (observed - expected)^2 / expected. Roughly k for uniform
+ * data; grows quickly when not.
+ */
+double chiSquareUniform(const Histogram &hist);
+
+} // namespace fscache
+
+#endif // FSCACHE_STATS_GOF_TESTS_HH

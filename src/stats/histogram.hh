@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-bin histogram with CDF and quantile queries.
+ *
+ * Used for associativity distributions (eviction futility in [0,1])
+ * and size-deviation distributions (lines around a target).
+ */
+
+#ifndef FSCACHE_STATS_HISTOGRAM_HH
+#define FSCACHE_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fscache
+{
+
+/** Histogram over [lo, hi] with uniformly sized bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the support (inclusive)
+     * @param hi upper bound of the support (inclusive; samples above
+     *           are clamped into the last bin, below into the first)
+     * @param bins number of bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::uint32_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Total number of samples. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Mean of all recorded samples (exact, not binned). */
+    double mean() const;
+
+    /** Empirical CDF at x: P(sample <= x), using bin resolution. */
+    double cdfAt(double x) const;
+
+    /** Smallest bin upper edge whose CDF is >= q (q in [0,1]). */
+    double quantile(double q) const;
+
+    /** Count in bin b. */
+    std::uint64_t binCount(std::uint32_t b) const { return counts_[b]; }
+
+    std::uint32_t bins() const
+    { return static_cast<std::uint32_t>(counts_.size()); }
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** Center of bin b. */
+    double binCenter(std::uint32_t b) const;
+
+    /** Reset to empty. */
+    void clear();
+
+    /** Merge another histogram with identical geometry. */
+    void merge(const Histogram &other);
+
+  private:
+    std::uint32_t binFor(double x) const;
+
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_STATS_HISTOGRAM_HH

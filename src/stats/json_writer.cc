@@ -1,0 +1,184 @@
+#include "stats/json_writer.hh"
+
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+JsonWriter::JsonWriter(std::ostream &os)
+    : os_(os)
+{
+    os_ << "{";
+    scopes_.push_back(Scope::Object);
+    first_.push_back(true);
+}
+
+JsonWriter::~JsonWriter()
+{
+    finish();
+}
+
+void
+JsonWriter::finish()
+{
+    while (!scopes_.empty()) {
+        os_ << (scopes_.back() == Scope::Object ? "}" : "]");
+        scopes_.pop_back();
+        first_.pop_back();
+    }
+    os_.flush();
+}
+
+void
+JsonWriter::comma()
+{
+    fs_assert(!scopes_.empty(), "write after finish()");
+    if (!first_.back())
+        os_ << ",";
+    first_.back() = false;
+}
+
+void
+JsonWriter::writeKey(const std::string &key)
+{
+    comma();
+    if (scopes_.back() == Scope::Object) {
+        fs_assert(!key.empty(), "object member needs a key");
+        os_ << "\"" << escape(key) << "\":";
+    } else {
+        fs_assert(key.empty(), "array element must not have a key");
+    }
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beginObject(const std::string &key)
+{
+    writeKey(key);
+    os_ << "{";
+    scopes_.push_back(Scope::Object);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    fs_assert(!scopes_.empty() && scopes_.back() == Scope::Object,
+              "mismatched endObject");
+    os_ << "}";
+    scopes_.pop_back();
+    first_.pop_back();
+}
+
+void
+JsonWriter::beginArray(const std::string &key)
+{
+    writeKey(key);
+    os_ << "[";
+    scopes_.push_back(Scope::Array);
+    first_.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    fs_assert(!scopes_.empty() && scopes_.back() == Scope::Array,
+              "mismatched endArray");
+    os_ << "]";
+    scopes_.pop_back();
+    first_.pop_back();
+}
+
+void
+JsonWriter::field(const std::string &key, const std::string &value)
+{
+    writeKey(key);
+    os_ << "\"" << escape(value) << "\"";
+}
+
+void
+JsonWriter::field(const std::string &key, const char *value)
+{
+    field(key, std::string(value));
+}
+
+void
+JsonWriter::field(const std::string &key, double value)
+{
+    writeKey(key);
+    os_ << strprintf("%.10g", value);
+}
+
+void
+JsonWriter::field(const std::string &key, std::uint64_t value)
+{
+    writeKey(key);
+    os_ << value;
+}
+
+void
+JsonWriter::field(const std::string &key, std::int64_t value)
+{
+    writeKey(key);
+    os_ << value;
+}
+
+void
+JsonWriter::field(const std::string &key, bool value)
+{
+    writeKey(key);
+    os_ << (value ? "true" : "false");
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    writeKey("");
+    os_ << "\"" << escape(v) << "\"";
+}
+
+void
+JsonWriter::value(double v)
+{
+    writeKey("");
+    os_ << strprintf("%.10g", v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    writeKey("");
+    os_ << v;
+}
+
+} // namespace fscache

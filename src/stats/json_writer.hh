@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable experiment
+ * output (the CLI tool's --json mode).
+ *
+ * Write-only, no DOM: objects/arrays open and close in order, keys
+ * and values are escaped, commas are handled automatically.
+ */
+
+#ifndef FSCACHE_STATS_JSON_WRITER_HH
+#define FSCACHE_STATS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fscache
+{
+
+/** See file comment. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    /** Open/close an object; key required inside an object. */
+    void beginObject(const std::string &key = "");
+    void endObject();
+
+    /** Open/close an array. */
+    void beginArray(const std::string &key = "");
+    void endArray();
+
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+    void field(const std::string &key, double value);
+    void field(const std::string &key, std::uint64_t value);
+    void field(const std::string &key, std::int64_t value);
+    void field(const std::string &key, bool value);
+
+    /** Array element values. */
+    void value(const std::string &v);
+    void value(double v);
+    void value(std::uint64_t v);
+
+    /** Close everything still open (also done by the dtor). */
+    void finish();
+
+  private:
+    enum class Scope
+    {
+        Object,
+        Array,
+    };
+
+    void comma();
+    void writeKey(const std::string &key);
+    static std::string escape(const std::string &s);
+
+    std::ostream &os_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> first_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_STATS_JSON_WRITER_HH

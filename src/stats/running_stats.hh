@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Streaming moments (Welford) and mean-absolute-deviation about a
+ * known reference point.
+ */
+
+#ifndef FSCACHE_STATS_RUNNING_STATS_HH
+#define FSCACHE_STATS_RUNNING_STATS_HH
+
+#include <cstdint>
+
+namespace fscache
+{
+
+/** Count / mean / variance / min / max in one pass. */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    std::uint64_t samples() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void clear();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Mean absolute deviation of samples about a fixed reference
+ * (e.g. a partition's target size). This is the MAD the paper
+ * reports in Figure 5.
+ */
+class AbsDeviationStats
+{
+  public:
+    explicit AbsDeviationStats(double reference = 0.0)
+        : reference_(reference)
+    {
+    }
+
+    void setReference(double reference) { reference_ = reference; }
+    double reference() const { return reference_; }
+
+    void add(double x);
+
+    std::uint64_t samples() const { return n_; }
+    /** Mean of |x - reference|. */
+    double mad() const { return n_ ? absSum_ / n_ : 0.0; }
+    /** Mean signed deviation (bias) x - reference. */
+    double bias() const { return n_ ? signedSum_ / n_ : 0.0; }
+
+    void clear();
+
+  private:
+    double reference_;
+    std::uint64_t n_ = 0;
+    double absSum_ = 0.0;
+    double signedSum_ = 0.0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_STATS_RUNNING_STATS_HH

@@ -1,0 +1,82 @@
+#include "stats/table_printer.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    fs_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    fs_assert(cells.size() == headers_.size(),
+              "row width %zu != header width %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+TablePrinter::num(std::uint64_t v)
+{
+    return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace fscache

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Aligned table output for the benchmark harnesses.
+ *
+ * Every bench binary prints the same rows/series a paper figure or
+ * table reports; TablePrinter keeps those dumps readable on a
+ * terminal and can also emit CSV for plotting.
+ */
+
+#ifndef FSCACHE_STATS_TABLE_PRINTER_HH
+#define FSCACHE_STATS_TABLE_PRINTER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fscache
+{
+
+/** Column-aligned text table with optional CSV emission. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: build a cell from a double with given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: build a cell from an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Render aligned text to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render CSV to the stream. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_STATS_TABLE_PRINTER_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The unit record of a trace: one L2 (last-level cache) access.
+ *
+ * Traces model the stream Sniper fed the paper's simulator: each
+ * record is a line address plus the number of instructions the core
+ * executed since its previous L2 access (used by the timing model to
+ * advance the thread's clock). The nextUse field is filled in by the
+ * NextUseAnnotator for OPT futility ranking.
+ */
+
+#ifndef FSCACHE_TRACE_ACCESS_HH
+#define FSCACHE_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+/** A single L2 access. */
+struct Access
+{
+    /** Line address (thread/component tags live in the high bits). */
+    Addr addr = 0;
+
+    /**
+     * Instructions executed by the owning thread since its previous
+     * L2 access (>= 1).
+     */
+    std::uint32_t instrGap = 1;
+
+    /**
+     * Per-thread index of the *next* access to the same address, or
+     * kNeverUsed. Valid only after annotation.
+     */
+    AccessTime nextUse = kNeverUsed;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_ACCESS_HH

@@ -1,0 +1,166 @@
+#include "trace/benchmark_profiles.hh"
+
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "trace/cyclic_generator.hh"
+#include "trace/mixture_generator.hh"
+#include "trace/stream_generator.hh"
+
+namespace fscache
+{
+
+namespace
+{
+
+ComponentSpec
+stackComp(double weight, double p_new, std::uint64_t min_d,
+          std::uint64_t max_d)
+{
+    ComponentSpec c;
+    c.kind = ComponentSpec::Kind::StackDist;
+    c.weight = weight;
+    c.stackDist.pNew = p_new;
+    c.stackDist.depth = DepthDist::logUniform(min_d, max_d);
+    c.stackDist.maxResident = std::max<std::uint64_t>(max_d * 2, 1024);
+    return c;
+}
+
+ComponentSpec
+streamComp(double weight)
+{
+    ComponentSpec c;
+    c.kind = ComponentSpec::Kind::Stream;
+    c.weight = weight;
+    return c;
+}
+
+ComponentSpec
+cyclicComp(double weight, std::uint64_t region)
+{
+    ComponentSpec c;
+    c.kind = ComponentSpec::Kind::Cyclic;
+    c.weight = weight;
+    c.region = region;
+    return c;
+}
+
+// Working-set sizes below are in 64B lines: 1K lines = 64KB.
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> out;
+
+    // mcf: APKI ~40. Reuse spread log-uniformly out to 64MB, so
+    // every LLC size sits inside the contended range.
+    out.push_back({"mcf", 25,
+                   {stackComp(0.90, 0.05, 1, 1ull << 20),
+                    streamComp(0.10)}});
+
+    // omnetpp: APKI ~25, reuse out to 8MB.
+    out.push_back({"omnetpp", 40,
+                   {stackComp(0.92, 0.08, 1, 1ull << 17),
+                    streamComp(0.08)}});
+
+    // gromacs: APKI ~7, working set ~768KB; sensitive below 1MB.
+    out.push_back({"gromacs", 150,
+                   {stackComp(0.97, 0.02, 1, 12288),
+                    streamComp(0.03)}});
+
+    // h264ref: APKI ~5, small friendly working set (~384KB).
+    out.push_back({"h264ref", 200,
+                   {stackComp(0.97, 0.02, 1, 6144),
+                    streamComp(0.03)}});
+
+    // astar: APKI ~14, reuse out to 4MB.
+    out.push_back({"astar", 70,
+                   {stackComp(0.90, 0.06, 1, 1ull << 16),
+                    streamComp(0.10)}});
+
+    // cactusADM: APKI ~10; dominant 3MB cyclic sweep (LRU-adverse)
+    // plus a small reused core.
+    out.push_back({"cactusadm", 100,
+                   {cyclicComp(0.65, 49152),
+                    stackComp(0.30, 0.03, 1, 8192),
+                    streamComp(0.05)}});
+
+    // libquantum: APKI ~25; 32MB circular scan thrashes any LLC.
+    out.push_back({"libquantum", 40,
+                   {cyclicComp(0.95, 1ull << 19),
+                    streamComp(0.05)}});
+
+    // lbm: APKI ~25; essentially pure streaming.
+    out.push_back({"lbm", 40,
+                   {streamComp(0.85),
+                    stackComp(0.15, 0.10, 1, 2048)}});
+
+    return out;
+}
+
+const std::vector<BenchmarkProfile> &
+profiles()
+{
+    static const std::vector<BenchmarkProfile> table = buildProfiles();
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &p : profiles())
+            out.push_back(p.name);
+        return out;
+    }();
+    return names;
+}
+
+const BenchmarkProfile &
+benchmarkProfile(const std::string &name)
+{
+    for (const auto &p : profiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+std::unique_ptr<TraceSource>
+makeBenchmarkTrace(const std::string &name, Addr base_addr, Rng rng)
+{
+    const BenchmarkProfile &prof = benchmarkProfile(name);
+    std::vector<MixtureGenerator::Component> comps;
+    comps.reserve(prof.components.size());
+
+    for (std::size_t i = 0; i < prof.components.size(); ++i) {
+        const ComponentSpec &spec = prof.components[i];
+        Addr comp_base = base_addr + i * kComponentSpan;
+        Rng comp_rng = rng.fork(i + 1);
+        std::unique_ptr<TraceSource> src;
+        switch (spec.kind) {
+          case ComponentSpec::Kind::StackDist: {
+            StackDistConfig cfg = spec.stackDist;
+            cfg.meanInstrGap = prof.meanInstrGap;
+            src = std::make_unique<StackDistGenerator>(cfg, comp_base,
+                                                       comp_rng);
+            break;
+          }
+          case ComponentSpec::Kind::Stream:
+            src = std::make_unique<StreamGenerator>(
+                comp_base, spec.stride, prof.meanInstrGap, comp_rng);
+            break;
+          case ComponentSpec::Kind::Cyclic:
+            src = std::make_unique<CyclicGenerator>(
+                comp_base, spec.region, prof.meanInstrGap, comp_rng);
+            break;
+        }
+        comps.push_back({spec.weight, std::move(src)});
+    }
+
+    return std::make_unique<MixtureGenerator>(name, std::move(comps),
+                                              rng.fork(0));
+}
+
+} // namespace fscache

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Synthetic stand-ins for the SPEC CPU2006 benchmarks the paper
+ * evaluates (mcf, omnetpp, gromacs, h264ref, astar, cactusADM,
+ * libquantum, lbm).
+ *
+ * Each profile is a weighted mixture of stack-distance, streaming
+ * and cyclic components plus an L2 access intensity (mean
+ * instruction gap = 1000 / APKI). The parameters are calibrated so
+ * each benchmark plays its qualitative role from the paper:
+ *
+ *  - mcf:        huge footprint, reuse spread over every cache size
+ *                scale; strongly associativity-sensitive, high APKI.
+ *  - omnetpp:    large-working-set pointer-chasing-like reuse.
+ *  - gromacs:    small working set (<1MB); associativity-sensitive
+ *                only below ~1MB (paper Fig. 6a).
+ *  - h264ref:    small working set, cache-friendly.
+ *  - astar:      medium working set, moderate sensitivity.
+ *  - cactusADM:  cyclic sweeps slightly bigger than typical LLCs;
+ *                LRU-adverse (more associativity can hurt with LRU,
+ *                paper Fig. 6b).
+ *  - libquantum: huge sequential circular scan; thrashes everything.
+ *  - lbm:        streaming, almost no reuse; associativity-
+ *                insensitive, memory-intensive (paper's background
+ *                thread in Sec. VIII).
+ */
+
+#ifndef FSCACHE_TRACE_BENCHMARK_PROFILES_HH
+#define FSCACHE_TRACE_BENCHMARK_PROFILES_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/stack_dist_generator.hh"
+#include "trace/trace_source.hh"
+
+namespace fscache
+{
+
+/** One mixture component of a benchmark profile. */
+struct ComponentSpec
+{
+    enum class Kind
+    {
+        StackDist,
+        Stream,
+        Cyclic,
+    };
+
+    Kind kind = Kind::StackDist;
+    double weight = 1.0;
+
+    /** StackDist only. */
+    StackDistConfig stackDist;
+
+    /** Cyclic only: region size in lines. */
+    std::uint64_t region = 1;
+
+    /** Stream only: stride in lines. */
+    std::uint64_t stride = 1;
+};
+
+/** A named synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** Mean instructions between L2 accesses (1000 / APKI). */
+    std::uint32_t meanInstrGap = 50;
+
+    std::vector<ComponentSpec> components;
+};
+
+/** All eight modeled benchmark names, in the paper's order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Look up a profile by name (fatal on unknown name). */
+const BenchmarkProfile &benchmarkProfile(const std::string &name);
+
+/**
+ * Instantiate a benchmark's trace generator.
+ *
+ * @param name profile name
+ * @param base_addr thread address-space base (components are placed
+ *        at base_addr + i * kComponentSpan)
+ * @param rng per-thread stream (forked internally per component)
+ */
+std::unique_ptr<TraceSource>
+makeBenchmarkTrace(const std::string &name, Addr base_addr, Rng rng);
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_BENCHMARK_PROFILES_HH

@@ -1,0 +1,26 @@
+#include "trace/cyclic_generator.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+CyclicGenerator::CyclicGenerator(Addr base_addr, std::uint64_t region,
+                                 std::uint32_t mean_instr_gap, Rng rng)
+    : baseAddr_(base_addr), region_(region), rng_(rng),
+      gap_(mean_instr_gap)
+{
+    fs_assert(region >= 1, "cyclic region must be >= 1");
+}
+
+Access
+CyclicGenerator::next()
+{
+    Access acc;
+    acc.addr = baseAddr_ + pos_;
+    pos_ = (pos_ + 1) % region_;
+    acc.instrGap = gap_.sample(rng_);
+    return acc;
+}
+
+} // namespace fscache

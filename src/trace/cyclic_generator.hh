@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cyclic-scan trace generator: sequential sweeps over a fixed
+ * region, wrapping around forever.
+ *
+ * A region slightly larger than the cache is the classic LRU-adverse
+ * pattern (every access misses under LRU while OPT keeps most of the
+ * region); it reproduces cactusADM's behaviour in the paper's
+ * Figure 6b, where more associativity can *hurt* under LRU ranking.
+ */
+
+#ifndef FSCACHE_TRACE_CYCLIC_GENERATOR_HH
+#define FSCACHE_TRACE_CYCLIC_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+#include "trace/instr_gap.hh"
+#include "trace/trace_source.hh"
+
+namespace fscache
+{
+
+/** Wrapping sequential scan over [base, base + region). */
+class CyclicGenerator : public TraceSource
+{
+  public:
+    /**
+     * @param base_addr offset applied to all emitted addresses
+     * @param region number of distinct lines in the cycle (>= 1)
+     * @param mean_instr_gap mean instructions between accesses
+     * @param rng jitter stream
+     */
+    CyclicGenerator(Addr base_addr, std::uint64_t region,
+                    std::uint32_t mean_instr_gap, Rng rng);
+
+    Access next() override;
+    std::string name() const override { return "cyclic"; }
+
+    std::uint64_t region() const { return region_; }
+
+  private:
+    Addr baseAddr_;
+    std::uint64_t region_;
+    Rng rng_;
+    InstrGapSampler gap_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_CYCLIC_GENERATOR_HH

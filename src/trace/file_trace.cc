@@ -1,0 +1,89 @@
+#include "trace/file_trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+TraceBuffer
+readTrace(std::istream &in)
+{
+    TraceBuffer buf;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string addr_str;
+        if (!(fields >> addr_str))
+            continue; // blank / comment-only line
+
+        Access acc;
+        try {
+            acc.addr = std::stoull(addr_str, nullptr, 0);
+        } catch (const std::exception &) {
+            fatal("trace line %llu: bad address '%s'",
+                  static_cast<unsigned long long>(lineno),
+                  addr_str.c_str());
+        }
+        std::uint64_t gap = 1;
+        if (fields >> gap) {
+            if (gap < 1)
+                gap = 1;
+        }
+        acc.instrGap = static_cast<std::uint32_t>(gap);
+        std::uint64_t next_use;
+        if (fields >> next_use)
+            acc.nextUse = next_use;
+        buf.accesses().push_back(acc);
+    }
+    return buf;
+}
+
+TraceBuffer
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return readTrace(in);
+}
+
+void
+writeTrace(std::ostream &out, const TraceBuffer &trace)
+{
+    bool annotated = false;
+    for (std::uint64_t i = 0; i < trace.size(); ++i) {
+        if (trace[i].nextUse != kNeverUsed) {
+            annotated = true;
+            break;
+        }
+    }
+    out << "# fscache trace: address instr-gap"
+        << (annotated ? " next-use" : "") << "\n";
+    for (std::uint64_t i = 0; i < trace.size(); ++i) {
+        const Access &a = trace[i];
+        out << "0x" << std::hex << a.addr << std::dec << ' '
+            << a.instrGap;
+        if (annotated)
+            out << ' ' << a.nextUse;
+        out << '\n';
+    }
+}
+
+void
+saveTraceFile(const std::string &path, const TraceBuffer &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file '%s'", path.c_str());
+    writeTrace(out, trace);
+}
+
+} // namespace fscache

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Text trace I/O: load externally captured access traces (e.g.
+ * converted Sniper/Pin output) and save generated ones.
+ *
+ * Format: one access per line, `<line-address> <instr-gap>
+ * [next-use]`, addresses in hex (0x...) or decimal, '#' comments
+ * and blank lines ignored. next-use is optional; run
+ * annotateNextUse() if OPT ranking is needed and the field is
+ * absent.
+ */
+
+#ifndef FSCACHE_TRACE_FILE_TRACE_HH
+#define FSCACHE_TRACE_FILE_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_buffer.hh"
+
+namespace fscache
+{
+
+/** Parse a trace from a stream (fatal on malformed lines). */
+TraceBuffer readTrace(std::istream &in);
+
+/** Load a trace file (fatal if unreadable). */
+TraceBuffer loadTraceFile(const std::string &path);
+
+/** Write a trace (with next-use fields if annotated). */
+void writeTrace(std::ostream &out, const TraceBuffer &trace);
+
+/** Save a trace file (fatal if unwritable). */
+void saveTraceFile(const std::string &path, const TraceBuffer &trace);
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_FILE_TRACE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Instruction-gap sampler shared by the trace generators.
+ *
+ * A benchmark's L2 access intensity is its APKI (L2 accesses per
+ * kilo-instruction); the mean instruction gap between accesses is
+ * 1000 / APKI. Gaps are jittered uniformly in [mean/2, 3*mean/2] so
+ * the timing model sees bursty-but-stationary arrivals.
+ */
+
+#ifndef FSCACHE_TRACE_INSTR_GAP_HH
+#define FSCACHE_TRACE_INSTR_GAP_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace fscache
+{
+
+/** Uniform-jitter gap sampler around a mean. */
+class InstrGapSampler
+{
+  public:
+    explicit InstrGapSampler(std::uint32_t mean_gap = 1)
+        : meanGap_(std::max<std::uint32_t>(mean_gap, 1))
+    {
+    }
+
+    std::uint32_t meanGap() const { return meanGap_; }
+
+    std::uint32_t
+    sample(Rng &rng) const
+    {
+        if (meanGap_ <= 1)
+            return 1;
+        std::uint32_t lo = std::max<std::uint32_t>(1, meanGap_ / 2);
+        std::uint32_t hi = meanGap_ + meanGap_ / 2;
+        return static_cast<std::uint32_t>(rng.range(lo, hi));
+    }
+
+  private:
+    std::uint32_t meanGap_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_INSTR_GAP_HH

@@ -1,0 +1,65 @@
+#include "trace/l1_filter.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace fscache
+{
+
+L1FilterSource::L1FilterSource(std::unique_ptr<TraceSource> inner,
+                               L1Config cfg)
+    : inner_(std::move(inner)), cfg_(cfg),
+      sets_(cfg.lines / cfg.ways), tags_(sets_)
+{
+    fs_assert(inner_ != nullptr, "filter needs an inner source");
+    fs_assert(cfg_.ways >= 1 && cfg_.lines % cfg_.ways == 0,
+              "bad L1 geometry");
+    for (auto &set : tags_)
+        set.reserve(cfg_.ways);
+}
+
+bool
+L1FilterSource::l1Access(Addr addr)
+{
+    auto set_idx =
+        static_cast<std::uint32_t>(mix64(addr) % sets_);
+    std::vector<Addr> &set = tags_[set_idx];
+    auto it = std::find(set.begin(), set.end(), addr);
+    if (it != set.end()) {
+        set.erase(it);
+        set.insert(set.begin(), addr);
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    if (set.size() >= cfg_.ways)
+        set.pop_back();
+    set.insert(set.begin(), addr);
+    return false;
+}
+
+Access
+L1FilterSource::next()
+{
+    std::uint64_t absorbed = 0;
+    while (true) {
+        Access acc = inner_->next();
+        if (!l1Access(acc.addr)) {
+            acc.instrGap = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(acc.instrGap + absorbed,
+                                        0xffffffffull));
+            return acc;
+        }
+        absorbed += acc.instrGap;
+    }
+}
+
+std::string
+L1FilterSource::name() const
+{
+    return "l1<" + inner_->name() + ">";
+}
+
+} // namespace fscache

@@ -1,0 +1,39 @@
+#include "trace/mixture_generator.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+MixtureGenerator::MixtureGenerator(std::string label,
+                                   std::vector<Component> components,
+                                   Rng rng)
+    : label_(std::move(label)), components_(std::move(components)),
+      rng_(rng)
+{
+    fs_assert(!components_.empty(), "mixture needs components");
+    double total = 0.0;
+    for (const auto &c : components_) {
+        fs_assert(c.weight > 0.0, "component weights must be > 0");
+        total += c.weight;
+    }
+    double acc = 0.0;
+    cumWeight_.reserve(components_.size());
+    for (const auto &c : components_) {
+        acc += c.weight / total;
+        cumWeight_.push_back(acc);
+    }
+    cumWeight_.back() = 1.0;
+}
+
+Access
+MixtureGenerator::next()
+{
+    double u = rng_.uniform();
+    std::size_t pick = 0;
+    while (pick + 1 < cumWeight_.size() && u >= cumWeight_[pick])
+        ++pick;
+    return components_[pick].source->next();
+}
+
+} // namespace fscache

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Probabilistic mixture of trace generators.
+ *
+ * Each access is drawn from one component chosen by weight.
+ * Components live in disjoint address subspaces (a component tag in
+ * high address bits) so, e.g., a streaming component never aliases a
+ * stack-distance component's working set.
+ */
+
+#ifndef FSCACHE_TRACE_MIXTURE_GENERATOR_HH
+#define FSCACHE_TRACE_MIXTURE_GENERATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/trace_source.hh"
+
+namespace fscache
+{
+
+/** Weighted mixture; weights are normalized at construction. */
+class MixtureGenerator : public TraceSource
+{
+  public:
+    struct Component
+    {
+        double weight;
+        std::unique_ptr<TraceSource> source;
+    };
+
+    /**
+     * @param label name for reports (e.g. the benchmark name)
+     * @param components at least one weighted sub-generator
+     * @param rng component-selection stream
+     */
+    MixtureGenerator(std::string label,
+                     std::vector<Component> components, Rng rng);
+
+    Access next() override;
+    std::string name() const override { return label_; }
+
+    std::size_t componentCount() const { return components_.size(); }
+
+  private:
+    std::string label_;
+    std::vector<Component> components_;
+    std::vector<double> cumWeight_;
+    Rng rng_;
+};
+
+/**
+ * Address-subspace size reserved per mixture component; components
+ * are placed at base + i * kComponentSpan.
+ */
+inline constexpr Addr kComponentSpan = 1ull << 40;
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_MIXTURE_GENERATOR_HH

@@ -1,0 +1,25 @@
+#include "trace/next_use_annotator.hh"
+
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace fscache
+{
+
+void
+annotateNextUse(TraceBuffer &trace)
+{
+    std::unordered_map<Addr, AccessTime> next_seen;
+    next_seen.reserve(trace.size() / 4 + 16);
+
+    for (std::uint64_t i = trace.size(); i-- > 0;) {
+        Access &acc = trace[i];
+        auto it = next_seen.find(acc.addr);
+        acc.nextUse =
+            it == next_seen.end() ? kNeverUsed : it->second;
+        next_seen[acc.addr] = i;
+    }
+}
+
+} // namespace fscache

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * OPT (Belady) next-use annotation.
+ *
+ * Fills each access's nextUse field with the index of the *next*
+ * access to the same address within the same thread's trace, or
+ * kNeverUsed. The OPT futility ranking keys on this value: the line
+ * whose next use is farthest away is the most futile (paper
+ * Section III.A).
+ */
+
+#ifndef FSCACHE_TRACE_NEXT_USE_ANNOTATOR_HH
+#define FSCACHE_TRACE_NEXT_USE_ANNOTATOR_HH
+
+#include "trace/trace_buffer.hh"
+
+namespace fscache
+{
+
+/**
+ * Annotate a single thread's trace in place (one backward pass,
+ * O(n) expected).
+ */
+void annotateNextUse(TraceBuffer &trace);
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_NEXT_USE_ANNOTATOR_HH

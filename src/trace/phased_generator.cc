@@ -1,0 +1,29 @@
+#include "trace/phased_generator.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+PhasedGenerator::PhasedGenerator(std::string label,
+                                 std::vector<Phase> phases)
+    : label_(std::move(label)), phases_(std::move(phases))
+{
+    fs_assert(!phases_.empty(), "phased generator needs phases");
+    for (const Phase &p : phases_)
+        fs_assert(p.accesses >= 1 && p.source != nullptr,
+                  "bad phase");
+}
+
+Access
+PhasedGenerator::next()
+{
+    if (inPhase_ >= phases_[current_].accesses) {
+        inPhase_ = 0;
+        current_ = (current_ + 1) % phases_.size();
+    }
+    ++inPhase_;
+    return phases_[current_].source->next();
+}
+
+} // namespace fscache

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Phased trace generator: cycles through a sequence of
+ * sub-generators, each active for a fixed number of accesses.
+ *
+ * Models applications with program phases (changing working sets /
+ * intensities); the dynamic-reallocation example uses it to
+ * exercise the paper's "smooth resizing" property — FS adjusts
+ * partition sizes on the fly with no flushing or migration.
+ */
+
+#ifndef FSCACHE_TRACE_PHASED_GENERATOR_HH
+#define FSCACHE_TRACE_PHASED_GENERATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class PhasedGenerator : public TraceSource
+{
+  public:
+    struct Phase
+    {
+        std::uint64_t accesses;
+        std::unique_ptr<TraceSource> source;
+    };
+
+    /**
+     * @param label name for reports
+     * @param phases executed in order, then wrapping around
+     */
+    PhasedGenerator(std::string label, std::vector<Phase> phases);
+
+    Access next() override;
+    std::string name() const override { return label_; }
+
+    /** Index of the currently active phase. */
+    std::size_t currentPhase() const { return current_; }
+
+  private:
+    std::string label_;
+    std::vector<Phase> phases_;
+    std::size_t current_ = 0;
+    std::uint64_t inPhase_ = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_PHASED_GENERATOR_HH

@@ -1,0 +1,110 @@
+#include "trace/stack_dist_generator.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+DepthDist
+DepthDist::uniform(std::uint64_t lo, std::uint64_t hi)
+{
+    return {Kind::Uniform, lo, hi};
+}
+
+DepthDist
+DepthDist::logUniform(std::uint64_t lo, std::uint64_t hi)
+{
+    return {Kind::LogUniform, lo, hi};
+}
+
+DepthDist
+DepthDist::fixed(std::uint64_t d)
+{
+    return {Kind::Fixed, d, d};
+}
+
+std::uint64_t
+DepthDist::sample(Rng &rng, std::uint64_t cap) const
+{
+    fs_assert(cap >= 1, "depth cap must be >= 1");
+    std::uint64_t d;
+    switch (kind) {
+      case Kind::Uniform:
+        d = rng.range(minDepth, maxDepth);
+        break;
+      case Kind::LogUniform: {
+        // Draw uniformly in log space: d = min * (max/min)^U.
+        double lo = std::log(static_cast<double>(minDepth));
+        double hi = std::log(static_cast<double>(maxDepth));
+        d = static_cast<std::uint64_t>(
+            std::exp(lo + (hi - lo) * rng.uniform()));
+        break;
+      }
+      case Kind::Fixed:
+      default:
+        d = minDepth;
+        break;
+    }
+    if (d < 1)
+        d = 1;
+    if (d > cap)
+        d = cap;
+    return d;
+}
+
+StackDistGenerator::StackDistGenerator(const StackDistConfig &cfg,
+                                       Addr base_addr, Rng rng)
+    : cfg_(cfg), baseAddr_(base_addr), rng_(rng),
+      gap_(cfg.meanInstrGap), stack_(rng_())
+{
+    fs_assert(cfg_.pNew >= 0.0 && cfg_.pNew <= 1.0, "bad pNew");
+    fs_assert(cfg_.depth.minDepth >= 1 &&
+                  cfg_.depth.minDepth <= cfg_.depth.maxDepth,
+              "bad depth range");
+    fs_assert(cfg_.maxResident >= 2, "need at least two residents");
+
+    if (cfg_.prewarm) {
+        // Oldest entries first, so depth d reaches address
+        // maxDepth - d initially.
+        std::uint64_t warm =
+            std::min(cfg_.depth.maxDepth, cfg_.maxResident);
+        for (std::uint64_t i = 0; i < warm; ++i)
+            touch(nextNewAddr_++);
+    }
+}
+
+std::uint64_t
+StackDistGenerator::touch(Addr local)
+{
+    std::uint64_t key = (++clock_ << kAddrBits) | (local & kAddrMask);
+    stack_.insert(key);
+    if (stack_.size() > cfg_.maxResident)
+        stack_.erase(stack_.minKey());
+    return key;
+}
+
+Access
+StackDistGenerator::next()
+{
+    Addr local;
+    if (stack_.empty() || rng_.chance(cfg_.pNew)) {
+        local = nextNewAddr_++;
+    } else {
+        // Depth d = 1 is the most recently used entry.
+        std::uint64_t d = cfg_.depth.sample(rng_, stack_.size());
+        std::uint64_t key = stack_.kth(stack_.size() - d);
+        local = key & kAddrMask;
+        stack_.erase(key);
+    }
+
+    touch(local);
+
+    Access acc;
+    acc.addr = baseAddr_ + local;
+    acc.instrGap = gap_.sample(rng_);
+    return acc;
+}
+
+} // namespace fscache

@@ -1,0 +1,26 @@
+#include "trace/stream_generator.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+StreamGenerator::StreamGenerator(Addr base_addr, std::uint64_t stride,
+                                 std::uint32_t mean_instr_gap, Rng rng)
+    : baseAddr_(base_addr), stride_(stride), rng_(rng),
+      gap_(mean_instr_gap)
+{
+    fs_assert(stride >= 1, "stream stride must be >= 1");
+}
+
+Access
+StreamGenerator::next()
+{
+    Access acc;
+    acc.addr = baseAddr_ + pos_;
+    pos_ += stride_;
+    acc.instrGap = gap_.sample(rng_);
+    return acc;
+}
+
+} // namespace fscache

@@ -1,0 +1,39 @@
+#include "trace/trace_buffer.hh"
+
+#include <unordered_set>
+
+#include "trace/trace_source.hh"
+
+namespace fscache
+{
+
+TraceBuffer
+TraceBuffer::capture(TraceSource &source, std::uint64_t count)
+{
+    TraceBuffer buf;
+    buf.accesses_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        buf.accesses_.push_back(source.next());
+    return buf;
+}
+
+std::uint64_t
+TraceBuffer::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &a : accesses_)
+        total += a.instrGap;
+    return total;
+}
+
+std::uint64_t
+TraceBuffer::footprint() const
+{
+    std::unordered_set<Addr> seen;
+    seen.reserve(accesses_.size() / 4 + 16);
+    for (const auto &a : accesses_)
+        seen.insert(a.addr);
+    return seen.size();
+}
+
+} // namespace fscache

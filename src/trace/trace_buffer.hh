@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Materialized finite trace.
+ *
+ * Benchmarks and workloads are generated up front into memory so a
+ * second pass can annotate OPT next-use information before
+ * simulation (the classic two-pass Belady setup).
+ */
+
+#ifndef FSCACHE_TRACE_TRACE_BUFFER_HH
+#define FSCACHE_TRACE_TRACE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access.hh"
+
+namespace fscache
+{
+
+class TraceSource;
+
+/** A finite, indexable access sequence for one thread. */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+
+    /** Materialize `count` accesses from a source. */
+    static TraceBuffer capture(TraceSource &source, std::uint64_t count);
+
+    std::uint64_t size() const { return accesses_.size(); }
+
+    const Access &operator[](std::uint64_t i) const
+    { return accesses_[i]; }
+
+    Access &operator[](std::uint64_t i) { return accesses_[i]; }
+
+    const std::vector<Access> &accesses() const { return accesses_; }
+    std::vector<Access> &accesses() { return accesses_; }
+
+    /** Total instructions represented by the trace. */
+    std::uint64_t totalInstructions() const;
+
+    /** Number of distinct line addresses (the trace footprint). */
+    std::uint64_t footprint() const;
+
+  private:
+    std::vector<Access> accesses_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_TRACE_BUFFER_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Abstract infinite access-stream generator.
+ */
+
+#ifndef FSCACHE_TRACE_TRACE_SOURCE_HH
+#define FSCACHE_TRACE_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/access.hh"
+
+namespace fscache
+{
+
+/**
+ * An infinite stream of accesses. Concrete generators are
+ * deterministic given their seed; materialize a finite prefix with
+ * TraceBuffer.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next access in the stream. */
+    virtual Access next() = 0;
+
+    /** Human-readable generator name. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_TRACE_SOURCE_HH

@@ -1,0 +1,53 @@
+#include "trace/workload.hh"
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "trace/benchmark_profiles.hh"
+#include "trace/next_use_annotator.hh"
+#include "trace/trace_source.hh"
+
+namespace fscache
+{
+
+Addr
+threadBaseAddr(std::uint32_t thread)
+{
+    // 2^48 per thread leaves 2^8 component subspaces of 2^40 each.
+    return (static_cast<Addr>(thread) + 1) << 48;
+}
+
+Workload
+Workload::duplicate(const std::string &benchmark, std::uint32_t n,
+                    std::uint64_t accesses_per_thread,
+                    std::uint64_t seed)
+{
+    std::vector<std::string> names(n, benchmark);
+    return mix(names, accesses_per_thread, seed);
+}
+
+Workload
+Workload::mix(const std::vector<std::string> &benchmarks,
+              std::uint64_t accesses_per_thread, std::uint64_t seed)
+{
+    fs_assert(!benchmarks.empty(), "workload needs threads");
+    Workload wl;
+    Rng master(seed);
+    for (std::uint32_t t = 0; t < benchmarks.size(); ++t) {
+        auto src = makeBenchmarkTrace(benchmarks[t], threadBaseAddr(t),
+                                      master.fork(t + 1));
+        ThreadTrace tt;
+        tt.benchmark = benchmarks[t];
+        tt.trace = TraceBuffer::capture(*src, accesses_per_thread);
+        wl.threads_.push_back(std::move(tt));
+    }
+    return wl;
+}
+
+void
+Workload::annotateNextUse()
+{
+    for (auto &t : threads_)
+        fscache::annotateNextUse(t.trace);
+}
+
+} // namespace fscache

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-threaded workloads: one trace per thread, each in a disjoint
+ * address space, each owning one cache partition.
+ *
+ * Mirrors the paper's workload construction: Figure 2 duplicates one
+ * SPEC benchmark N times; Section VIII mixes N_subject gromacs
+ * threads with (32 - N_subject) lbm threads.
+ */
+
+#ifndef FSCACHE_TRACE_WORKLOAD_HH
+#define FSCACHE_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_buffer.hh"
+
+namespace fscache
+{
+
+/** One thread of a workload. */
+struct ThreadTrace
+{
+    std::string benchmark;
+    TraceBuffer trace;
+};
+
+/** A fixed multi-thread workload. */
+class Workload
+{
+  public:
+    /**
+     * Build a workload by duplicating one benchmark `n` times (the
+     * paper's Figure 2 construction). Threads get disjoint address
+     * spaces and independent generator streams.
+     *
+     * @param benchmark profile name
+     * @param n number of copies
+     * @param accesses_per_thread trace length per thread
+     * @param seed master seed
+     */
+    static Workload duplicate(const std::string &benchmark,
+                              std::uint32_t n,
+                              std::uint64_t accesses_per_thread,
+                              std::uint64_t seed);
+
+    /** Build a workload from an explicit benchmark list. */
+    static Workload mix(const std::vector<std::string> &benchmarks,
+                        std::uint64_t accesses_per_thread,
+                        std::uint64_t seed);
+
+    /** Fill every access's nextUse (required for OPT ranking). */
+    void annotateNextUse();
+
+    std::uint32_t threadCount() const
+    { return static_cast<std::uint32_t>(threads_.size()); }
+
+    const ThreadTrace &thread(std::uint32_t t) const
+    { return threads_[t]; }
+
+    ThreadTrace &thread(std::uint32_t t) { return threads_[t]; }
+
+    const std::vector<ThreadTrace> &threads() const { return threads_; }
+
+  private:
+    std::vector<ThreadTrace> threads_;
+};
+
+/**
+ * Address-space base for a thread: threads are spaced far enough
+ * apart that no two workloads' components can alias.
+ */
+Addr threadBaseAddr(std::uint32_t thread);
+
+} // namespace fscache
+
+#endif // FSCACHE_TRACE_WORKLOAD_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * ArgParser tests: option forms, typed accessors, defaults, help,
+ * and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/arg_parser.hh"
+
+namespace fscache
+{
+namespace
+{
+
+ArgParser
+makeParser()
+{
+    ArgParser p("tool", "test tool");
+    p.addString("name", "default", "a string");
+    p.addInt("count", 7, "an int");
+    p.addDouble("ratio", 0.5, "a double");
+    p.addFlag("verbose", "a flag");
+    return p;
+}
+
+TEST(ArgParser, DefaultsWhenUnset)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool"};
+    EXPECT_TRUE(p.parse(1, argv));
+    EXPECT_EQ(p.getString("name"), "default");
+    EXPECT_EQ(p.getInt("count"), 7);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(p.getFlag("verbose"));
+    EXPECT_FALSE(p.given("name"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--name", "abc", "--count", "42"};
+    EXPECT_TRUE(p.parse(5, argv));
+    EXPECT_EQ(p.getString("name"), "abc");
+    EXPECT_EQ(p.getInt("count"), 42);
+    EXPECT_TRUE(p.given("name"));
+}
+
+TEST(ArgParser, EqualsForm)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--ratio=0.25", "--name=x"};
+    EXPECT_TRUE(p.parse(3, argv));
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.25);
+    EXPECT_EQ(p.getString("name"), "x");
+}
+
+TEST(ArgParser, FlagForm)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--verbose"};
+    EXPECT_TRUE(p.parse(2, argv));
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, HelpReturnsFalse)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--help"};
+    EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, HelpTextMentionsOptions)
+{
+    ArgParser p = makeParser();
+    std::ostringstream os;
+    p.printHelp(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("--name"), std::string::npos);
+    EXPECT_NE(text.find("--verbose"), std::string::npos);
+    EXPECT_NE(text.find("default: 7"), std::string::npos);
+}
+
+TEST(ArgParser, NegativeNumbers)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--count", "-5"};
+    EXPECT_TRUE(p.parse(3, argv));
+    EXPECT_EQ(p.getInt("count"), -5);
+}
+
+using ArgParserDeathTest = ::testing::Test;
+
+TEST(ArgParserDeathTest, UnknownOptionIsFatal)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--nope"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(ArgParserDeathTest, MissingValueIsFatal)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--count"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(ArgParserDeathTest, BadIntIsFatal)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--count", "abc"};
+    EXPECT_EXIT(p.parse(3, argv), ::testing::ExitedWithCode(1),
+                "bad value");
+}
+
+TEST(ArgParserDeathTest, FlagWithValueIsFatal)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--verbose=1"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "takes no value");
+}
+
+} // namespace
+} // namespace fscache

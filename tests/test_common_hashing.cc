@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Index hash tests: determinism, range, balance, and family
+ * independence (H3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/hashing.hh"
+#include "common/random.hh"
+
+namespace fscache
+{
+namespace
+{
+
+void
+expectBalanced(const IndexHash &hash, std::uint64_t buckets)
+{
+    std::vector<int> counts(buckets, 0);
+    Rng rng(123);
+    constexpr int kDraws = 64000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[hash.index(rng())];
+    double expect = static_cast<double>(kDraws) / buckets;
+    for (std::uint64_t b = 0; b < buckets; ++b)
+        EXPECT_NEAR(counts[b], expect, 0.25 * expect)
+            << hash.name() << " bucket " << b;
+}
+
+TEST(Hashing, ModuloBasics)
+{
+    ModuloHash h(64);
+    EXPECT_EQ(h.buckets(), 64u);
+    EXPECT_EQ(h.index(0), 0u);
+    EXPECT_EQ(h.index(65), 1u);
+    EXPECT_EQ(h.index(64 * 7 + 13), 13u);
+}
+
+TEST(Hashing, XorFoldDeterministic)
+{
+    XorFoldHash h(256);
+    for (Addr a : {0ull, 1ull, 0xdeadbeefull, ~0ull})
+        EXPECT_EQ(h.index(a), h.index(a));
+}
+
+TEST(Hashing, XorFoldInRange)
+{
+    XorFoldHash h(100); // non-power-of-two
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(h.index(rng()), 100u);
+}
+
+TEST(Hashing, XorFoldMixesHighBits)
+{
+    // Modulo ignores high bits; xorfold must not: addresses that
+    // differ only above the index bits should spread out.
+    XorFoldHash h(256);
+    std::vector<int> counts(256, 0);
+    for (std::uint64_t k = 0; k < 256; ++k)
+        ++counts[h.index(k << 20)];
+    int max_count = 0;
+    for (int c : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_LE(max_count, 4);
+}
+
+TEST(Hashing, H3DeterministicPerSeed)
+{
+    H3Hash a(128, 9), b(128, 9);
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        Addr addr = rng();
+        EXPECT_EQ(a.index(addr), b.index(addr));
+    }
+}
+
+TEST(Hashing, H3SeedsIndependent)
+{
+    H3Hash a(128, 1), b(128, 2);
+    Rng rng(2);
+    int same = 0;
+    constexpr int kDraws = 4000;
+    for (int i = 0; i < kDraws; ++i) {
+        Addr addr = rng();
+        if (a.index(addr) == b.index(addr))
+            ++same;
+    }
+    // Independent hashes collide with probability 1/128.
+    EXPECT_NEAR(same, kDraws / 128.0, kDraws / 128.0);
+}
+
+TEST(Hashing, BalanceAcrossFamilies)
+{
+    expectBalanced(ModuloHash(64), 64);
+    expectBalanced(XorFoldHash(64), 64);
+    expectBalanced(H3Hash(64, 3), 64);
+}
+
+TEST(Hashing, FactoryAndParse)
+{
+    EXPECT_EQ(parseHashKind("modulo"), HashKind::Modulo);
+    EXPECT_EQ(parseHashKind("xorfold"), HashKind::XorFold);
+    EXPECT_EQ(parseHashKind("h3"), HashKind::H3);
+    auto h = makeIndexHash(HashKind::H3, 32, 7);
+    EXPECT_EQ(h->buckets(), 32u);
+    EXPECT_EQ(h->name(), "h3");
+}
+
+TEST(Bits, PowersOfTwo)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(12));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(ceilPow2(3), 4u);
+    EXPECT_EQ(ceilPow2(4), 4u);
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_EQ(parity(0), 0u);
+    EXPECT_EQ(parity(1), 1u);
+    EXPECT_EQ(parity(0b1011), 1u);
+    EXPECT_EQ(parity(0b1111), 0u);
+}
+
+} // namespace
+} // namespace fscache

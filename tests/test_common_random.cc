@@ -1,0 +1,126 @@
+/**
+ * @file
+ * PRNG tests: determinism, range correctness, uniformity, fork
+ * independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+
+namespace fscache
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = rng.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        saw_lo |= (v == 10);
+        saw_hi |= (v == 13);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr std::uint64_t kBuckets = 16;
+    constexpr int kDraws = 160000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBuckets)];
+    // Expected 10000 per bucket; allow 5% deviation.
+    for (std::uint64_t b = 0; b < kBuckets; ++b)
+        EXPECT_NEAR(counts[b], kDraws / kBuckets,
+                    0.05 * kDraws / kBuckets);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(3);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (c1() == c2())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkDeterministicFromParentState)
+{
+    Rng p1(3), p2(3);
+    Rng c1 = p1.fork(9);
+    Rng c2 = p2.fork(9);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(c1(), c2());
+}
+
+TEST(Mix64, SpreadsBits)
+{
+    // Adjacent inputs must yield very different outputs.
+    std::uint64_t a = mix64(1), b = mix64(2);
+    int diff = __builtin_popcountll(a ^ b);
+    EXPECT_GT(diff, 16);
+    EXPECT_LT(diff, 48);
+}
+
+} // namespace
+} // namespace fscache

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Goodness-of-fit utility tests, plus distribution-level validation
+ * of the simulator: the x^R associativity law holds as a whole CDF
+ * (not just in the mean) under a KS test, and random eviction's
+ * futility is uniform under chi-square.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/random.hh"
+#include "sim/experiment.hh"
+#include "stats/gof_tests.hh"
+#include "trace/stack_dist_generator.hh"
+
+namespace fscache
+{
+namespace
+{
+
+TEST(Gof, KsZeroForMatchingCdf)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(5);
+    for (int i = 0; i < 200000; ++i)
+        h.add(rng.uniform());
+    double d = ksDistance(h, [](double x) { return x; });
+    EXPECT_LT(d, 0.01);
+}
+
+TEST(Gof, KsLargeForWrongCdf)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform());
+    // Compare uniform data against x^16.
+    double d = ksDistance(
+        h, [](double x) { return std::pow(x, 16.0); });
+    EXPECT_GT(d, 0.5);
+}
+
+TEST(Gof, ChiSquareSmallForUniform)
+{
+    Histogram h(0.0, 1.0, 50);
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    // E[chi2] ~ bins - 1 = 49 for uniform data.
+    EXPECT_LT(chiSquareUniform(h), 120.0);
+}
+
+TEST(Gof, ChiSquareLargeForSkew)
+{
+    Histogram h(0.0, 1.0, 50);
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform() * rng.uniform()); // skewed low
+    EXPECT_GT(chiSquareUniform(h), 1000.0);
+}
+
+/** Reuse-heavy generator for the distribution-level checks. */
+std::unique_ptr<TraceSource>
+reuseSource(std::uint64_t seed)
+{
+    StackDistConfig cfg;
+    cfg.pNew = 0.05;
+    cfg.depth = DepthDist::logUniform(1, 1 << 15);
+    cfg.maxResident = 1 << 16;
+    cfg.meanInstrGap = 1;
+    return std::make_unique<StackDistGenerator>(cfg, 0, Rng(seed));
+}
+
+TEST(Gof, XPowerRLawHoldsAsFullCdf)
+{
+    CacheSpec spec;
+    spec.array.kind = ArrayKind::RandomCands;
+    spec.array.numLines = 8192;
+    spec.array.randomCands = 16;
+    spec.ranking = RankKind::ExactLru;
+    spec.scheme.kind = SchemeKind::None;
+    spec.numParts = 1;
+    auto cache = buildCache(spec);
+
+    std::vector<std::unique_ptr<TraceSource>> src;
+    src.push_back(reuseSource(77));
+    driveByInsertionRate(*cache, src, {1.0}, 60000, 20000, 3);
+
+    double d = ksDistance(
+        cache->assocDist(0).histogram(),
+        [](double x) { return std::pow(x, 16.0); });
+    EXPECT_LT(d, 0.03);
+}
+
+TEST(Gof, RandomRankingEvictsUniformFutility)
+{
+    CacheSpec spec;
+    spec.array.kind = ArrayKind::RandomCands;
+    spec.array.numLines = 8192;
+    spec.array.randomCands = 16;
+    spec.ranking = RankKind::Random;
+    spec.scheme.kind = SchemeKind::None;
+    spec.numParts = 1;
+    auto cache = buildCache(spec);
+
+    std::vector<std::unique_ptr<TraceSource>> src;
+    src.push_back(reuseSource(78));
+    driveByInsertionRate(*cache, src, {1.0}, 60000, 20000, 3);
+
+    // The diagonal CDF: uniform eviction futility.
+    double d = ksDistance(cache->assocDist(0).histogram(),
+                          [](double x) { return x; });
+    EXPECT_LT(d, 0.03);
+}
+
+} // namespace
+} // namespace fscache

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * JsonWriter tests: structure, escaping, commas, nesting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/json_writer.hh"
+
+namespace fscache
+{
+namespace
+{
+
+TEST(JsonWriter, EmptyObject)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+    }
+    EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(JsonWriter, FlatFields)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.field("s", "hi");
+        j.field("u", std::uint64_t{42});
+        j.field("d", 1.5);
+        j.field("b", true);
+    }
+    EXPECT_EQ(os.str(),
+              "{\"s\":\"hi\",\"u\":42,\"d\":1.5,\"b\":true}");
+}
+
+TEST(JsonWriter, NestedObjectAndArray)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.beginObject("inner");
+        j.field("x", std::uint64_t{1});
+        j.endObject();
+        j.beginArray("list");
+        j.value(std::uint64_t{1});
+        j.value(std::uint64_t{2});
+        j.endArray();
+    }
+    EXPECT_EQ(os.str(), "{\"inner\":{\"x\":1},\"list\":[1,2]}");
+}
+
+TEST(JsonWriter, ArrayOfObjects)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.beginArray("rows");
+        for (int i = 0; i < 2; ++i) {
+            j.beginObject();
+            j.field("i", static_cast<std::uint64_t>(i));
+            j.endObject();
+        }
+        j.endArray();
+    }
+    EXPECT_EQ(os.str(), "{\"rows\":[{\"i\":0},{\"i\":1}]}");
+}
+
+TEST(JsonWriter, Escaping)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.field("k", "a\"b\\c\nd");
+    }
+    EXPECT_EQ(os.str(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, FinishClosesEverything)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray("a");
+    j.beginObject();
+    j.field("x", std::uint64_t{1});
+    j.finish();
+    EXPECT_EQ(os.str(), "{\"a\":[{\"x\":1}]}");
+}
+
+TEST(JsonWriter, StringValuesInArray)
+{
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.beginArray("names");
+        j.value(std::string("a"));
+        j.value(std::string("b"));
+        j.endArray();
+    }
+    EXPECT_EQ(os.str(), "{\"names\":[\"a\",\"b\"]}");
+}
+
+} // namespace
+} // namespace fscache

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Build smoke test: assemble a small FS-partitioned cache through
+ * the public API and exercise one access.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fscache.hh"
+
+namespace fscache
+{
+namespace
+{
+
+TEST(Smoke, BuildAndAccess)
+{
+    auto cache = CacheBuilder()
+                     .lines(1024)
+                     .setAssociative(16)
+                     .ranking(RankKind::CoarseTsLru)
+                     .scheme(SchemeKind::Fs)
+                     .partitions(2)
+                     .build();
+    cache->setTargets({512, 512});
+
+    AccessOutcome out = cache->access(0, 0x1234);
+    EXPECT_FALSE(out.hit);
+    out = cache->access(0, 0x1234);
+    EXPECT_TRUE(out.hit);
+    EXPECT_EQ(cache->stats(0).hits, 1u);
+    EXPECT_EQ(cache->stats(0).misses, 1u);
+}
+
+} // namespace
+} // namespace fscache

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Statistics framework tests: histogram/CDF, running moments, MAD,
+ * associativity distribution, deviation tracker, table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "stats/assoc_distribution.hh"
+#include "stats/deviation_tracker.hh"
+#include "stats/histogram.hh"
+#include "stats/running_stats.hh"
+#include "stats/table_printer.hh"
+
+namespace fscache
+{
+namespace
+{
+
+TEST(Histogram, EmptyState)
+{
+    Histogram h(0.0, 1.0, 10);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdfAt(0.5), 0.0);
+}
+
+TEST(Histogram, MeanIsExactNotBinned)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    h.add(0.2);
+    h.add(0.9);
+    EXPECT_NEAR(h.mean(), 0.4, 1e-12);
+}
+
+TEST(Histogram, CdfMonotone)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniform());
+    double prev = 0.0;
+    for (double x = 0.0; x <= 1.0; x += 0.01) {
+        double c = h.cdfAt(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_NEAR(h.cdfAt(1.0), 1.0, 1e-12);
+    EXPECT_NEAR(h.cdfAt(0.5), 0.5, 0.03);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 10);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, QuantileOfUniform)
+{
+    Histogram h(0.0, 1.0, 200);
+    Rng rng(4);
+    for (int i = 0; i < 50000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.03);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.03);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a(0.0, 1.0, 10), b(0.0, 1.0, 10);
+    a.add(0.1);
+    b.add(0.9);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 2u);
+    EXPECT_NEAR(a.mean(), 0.5, 1e-12);
+}
+
+TEST(RunningStats, MomentsAgainstKnownData)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.samples(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(AbsDeviation, MadAndBias)
+{
+    AbsDeviationStats d(100.0);
+    d.add(90.0);
+    d.add(110.0);
+    d.add(120.0);
+    EXPECT_NEAR(d.mad(), (10 + 10 + 20) / 3.0, 1e-12);
+    EXPECT_NEAR(d.bias(), (-10 + 10 + 20) / 3.0, 1e-12);
+}
+
+TEST(AssocDistribution, FullAssocGivesAefOne)
+{
+    AssocDistribution a;
+    for (int i = 0; i < 100; ++i)
+        a.recordEviction(1.0);
+    EXPECT_DOUBLE_EQ(a.aef(), 1.0);
+}
+
+TEST(AssocDistribution, RandomEvictionGivesHalf)
+{
+    AssocDistribution a;
+    Rng rng(8);
+    for (int i = 0; i < 100000; ++i)
+        a.recordEviction(rng.uniform());
+    EXPECT_NEAR(a.aef(), 0.5, 0.01);
+    // Diagonal CDF.
+    EXPECT_NEAR(a.cdfAt(0.25), 0.25, 0.02);
+    EXPECT_NEAR(a.cdfAt(0.75), 0.75, 0.02);
+}
+
+TEST(AssocDistribution, CdfCurveShape)
+{
+    AssocDistribution a;
+    for (int i = 0; i < 1000; ++i)
+        a.recordEviction(0.95);
+    auto curve = a.cdfCurve(10);
+    ASSERT_EQ(curve.size(), 10u);
+    EXPECT_NEAR(curve[8], 0.0, 1e-12);  // CDF(0.9)
+    EXPECT_NEAR(curve[9], 1.0, 1e-12);  // CDF(1.0)
+}
+
+TEST(DeviationTracker, TracksTargetAndOccupancy)
+{
+    DeviationTracker d(1000.0);
+    d.sample(990.0);
+    d.sample(1010.0);
+    d.sample(1000.0);
+    EXPECT_NEAR(d.mad(), 20.0 / 3.0, 1e-12);
+    EXPECT_NEAR(d.bias(), 0.0, 1e-12);
+    EXPECT_NEAR(d.meanOccupancy(), 1000.0, 1e-12);
+}
+
+TEST(DeviationTracker, AbsDeviationCdf)
+{
+    DeviationTracker d(0.0, 100.0, 200);
+    for (int i = 0; i < 50; ++i)
+        d.sample(2.0);
+    for (int i = 0; i < 50; ++i)
+        d.sample(-50.0);
+    EXPECT_NEAR(d.absDeviationCdf(10.0), 0.5, 0.02);
+    EXPECT_NEAR(d.absDeviationCdf(60.0), 1.0, 1e-12);
+}
+
+TEST(TablePrinter, AlignedOutput)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", TablePrinter::num(1.5, 2)});
+    t.addRow({"beta", TablePrinter::num(std::uint64_t{42})});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+} // namespace
+} // namespace fscache

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the trace extensions: text trace I/O round-trips and
+ * the phased generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "trace/cyclic_generator.hh"
+#include "trace/file_trace.hh"
+#include "trace/next_use_annotator.hh"
+#include "trace/phased_generator.hh"
+#include "trace/stream_generator.hh"
+
+namespace fscache
+{
+namespace
+{
+
+TEST(FileTrace, ParseBasicFormats)
+{
+    std::istringstream in(
+        "# comment line\n"
+        "0x10 5\n"
+        "32 7\n"
+        "\n"
+        "0xff 2 42   # trailing comment\n");
+    TraceBuffer buf = readTrace(in);
+    ASSERT_EQ(buf.size(), 3u);
+    EXPECT_EQ(buf[0].addr, 0x10u);
+    EXPECT_EQ(buf[0].instrGap, 5u);
+    EXPECT_EQ(buf[0].nextUse, kNeverUsed);
+    EXPECT_EQ(buf[1].addr, 32u);
+    EXPECT_EQ(buf[2].addr, 0xffu);
+    EXPECT_EQ(buf[2].nextUse, 42u);
+}
+
+TEST(FileTrace, DefaultGapIsOne)
+{
+    std::istringstream in("0x1\n0x2\n");
+    TraceBuffer buf = readTrace(in);
+    ASSERT_EQ(buf.size(), 2u);
+    EXPECT_EQ(buf[0].instrGap, 1u);
+}
+
+TEST(FileTrace, RoundTripPreservesAccesses)
+{
+    CyclicGenerator gen(100, 17, 9, Rng(4));
+    TraceBuffer original = TraceBuffer::capture(gen, 200);
+
+    std::ostringstream out;
+    writeTrace(out, original);
+    std::istringstream in(out.str());
+    TraceBuffer loaded = readTrace(in);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::uint64_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].addr, original[i].addr);
+        EXPECT_EQ(loaded[i].instrGap, original[i].instrGap);
+    }
+}
+
+TEST(FileTrace, RoundTripPreservesAnnotation)
+{
+    CyclicGenerator gen(0, 5, 1, Rng(1));
+    TraceBuffer original = TraceBuffer::capture(gen, 20);
+    annotateNextUse(original);
+
+    std::ostringstream out;
+    writeTrace(out, original);
+    std::istringstream in(out.str());
+    TraceBuffer loaded = readTrace(in);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::uint64_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(loaded[i].nextUse, original[i].nextUse);
+}
+
+TEST(FileTrace, FileRoundTrip)
+{
+    StreamGenerator gen(7, 3, 11, Rng(2));
+    TraceBuffer original = TraceBuffer::capture(gen, 50);
+    const std::string path = "/tmp/fscache_test_trace.txt";
+    saveTraceFile(path, original);
+    TraceBuffer loaded = loadTraceFile(path);
+    ASSERT_EQ(loaded.size(), 50u);
+    EXPECT_EQ(loaded[49].addr, original[49].addr);
+}
+
+TEST(PhasedGenerator, SwitchesAtBoundaries)
+{
+    std::vector<PhasedGenerator::Phase> phases;
+    phases.push_back(
+        {10, std::make_unique<StreamGenerator>(0, 1, 1, Rng(1))});
+    phases.push_back(
+        {5, std::make_unique<StreamGenerator>(1ull << 30, 1, 1,
+                                              Rng(2))});
+    PhasedGenerator gen("p", std::move(phases));
+
+    for (int i = 0; i < 10; ++i)
+        EXPECT_LT(gen.next().addr, 1ull << 30) << "access " << i;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_GE(gen.next().addr, 1ull << 30) << "access " << i;
+    // Wraps back to phase 0 (stream continues where it left off).
+    EXPECT_LT(gen.next().addr, 1ull << 30);
+    EXPECT_EQ(gen.currentPhase(), 0u);
+}
+
+TEST(PhasedGenerator, SinglePhaseLoopsForever)
+{
+    std::vector<PhasedGenerator::Phase> phases;
+    phases.push_back(
+        {3, std::make_unique<CyclicGenerator>(0, 4, 1, Rng(1))});
+    PhasedGenerator gen("p", std::move(phases));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_LT(gen.next().addr, 4u);
+}
+
+
+using FileTraceDeathTest = ::testing::Test;
+
+TEST(FileTraceDeathTest, BadAddressIsFatal)
+{
+    std::istringstream in("zzz 5\n");
+    EXPECT_EXIT(readTrace(in), ::testing::ExitedWithCode(1),
+                "bad address");
+}
+
+TEST(FileTraceDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadTraceFile("/nonexistent/file.trc"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace fscache

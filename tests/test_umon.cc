@@ -1,0 +1,132 @@
+/**
+ * @file
+ * UMON shadow-monitor tests: stack-inclusion counting, miss-curve
+ * construction, sampling, and the UMON -> lookahead pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/umon.hh"
+#include "common/random.hh"
+
+namespace fscache
+{
+namespace
+{
+
+/** Monitor everything (sampling ratio 1). */
+UmonMonitor
+fullMonitor(std::uint32_t ways)
+{
+    return UmonMonitor(ways, 64, 64, 5);
+}
+
+TEST(Umon, ColdMissesCounted)
+{
+    UmonMonitor u = fullMonitor(8);
+    for (Addr a = 0; a < 100; ++a)
+        u.access(a);
+    EXPECT_EQ(u.accesses(), 100u);
+    EXPECT_EQ(u.misses(), 100u);
+}
+
+TEST(Umon, MruHitCountsAtPositionZero)
+{
+    UmonMonitor u = fullMonitor(8);
+    u.access(42);
+    u.access(42);
+    u.access(42);
+    EXPECT_EQ(u.misses(), 1u);
+    EXPECT_EQ(u.hitAt(0), 2u);
+}
+
+TEST(Umon, StackPositionsFollowLruDepth)
+{
+    UmonMonitor u(4, 1, 1, 9); // single set: a pure 4-way stack
+    // Touch A B C, then A again: A sits at depth 2 (position 2).
+    u.access(1);
+    u.access(2);
+    u.access(3);
+    u.access(1);
+    EXPECT_EQ(u.hitAt(2), 1u);
+    EXPECT_EQ(u.hitAt(0), 0u);
+    EXPECT_EQ(u.misses(), 3u);
+}
+
+TEST(Umon, EvictionBeyondWays)
+{
+    UmonMonitor u(2, 1, 1, 9);
+    u.access(1);
+    u.access(2);
+    u.access(3); // evicts 1
+    u.access(1); // miss again
+    EXPECT_EQ(u.misses(), 4u);
+}
+
+TEST(Umon, MissCurveMonotoneAndAnchored)
+{
+    UmonMonitor u = fullMonitor(8);
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        u.access(rng.below(200));
+    MissCurve curve = u.missCurve();
+    ASSERT_EQ(curve.size(), 9u);
+    // curve[0] = every access misses with zero ways.
+    EXPECT_EQ(curve[0], u.accesses());
+    for (std::size_t k = 1; k < curve.size(); ++k)
+        EXPECT_LE(curve[k], curve[k - 1]);
+    EXPECT_EQ(curve[8], u.misses());
+}
+
+TEST(Umon, CurveSeparatesWorkingSetSizes)
+{
+    // A working set of 3 lines in one monitored set: misses should
+    // drop to ~0 at 3 ways and stay high below.
+    UmonMonitor u(8, 1, 1, 9);
+    for (int round = 0; round < 100; ++round)
+        for (Addr a = 0; a < 3; ++a)
+            u.access(a);
+    MissCurve curve = u.missCurve();
+    EXPECT_EQ(curve[3], 3u); // only the cold misses
+    EXPECT_GT(curve[1], 100u);
+}
+
+TEST(Umon, SamplingFiltersAccesses)
+{
+    UmonMonitor u(8, 8, 1024, 7); // ~1/128 sampling
+    Rng rng(11);
+    for (int i = 0; i < 100000; ++i)
+        u.access(rng());
+    EXPECT_GT(u.accesses(), 300u);
+    EXPECT_LT(u.accesses(), 2000u);
+}
+
+TEST(Umon, ResetKeepsTagsWarm)
+{
+    UmonMonitor u = fullMonitor(8);
+    u.access(1);
+    u.access(2);
+    u.resetCounters();
+    EXPECT_EQ(u.accesses(), 0u);
+    u.access(1); // still resident => hit, not a cold miss
+    EXPECT_EQ(u.misses(), 0u);
+    EXPECT_EQ(u.accesses(), 1u);
+}
+
+TEST(Umon, FeedsLookaheadAllocation)
+{
+    // Thread 0 reuses a 4-line set heavily; thread 1 streams.
+    UmonMonitor hot(8, 1, 1, 9);
+    UmonMonitor cold(8, 1, 1, 9);
+    Addr stream = 1000;
+    for (int i = 0; i < 1000; ++i) {
+        hot.access(i % 4);
+        cold.access(stream++);
+    }
+    Allocation targets = lookaheadAllocation(
+        {hot.missCurve(), cold.missCurve()}, 8, 128);
+    EXPECT_GT(targets[0], targets[1]);
+}
+
+} // namespace
+} // namespace fscache

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Way-partitioning tests: apportionment of ways to targets,
+ * placement restriction, and end-to-end isolation on a
+ * set-associative array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_array.hh"
+#include "partition/way_partition_scheme.hh"
+#include "sim/experiment.hh"
+
+namespace fscache
+{
+namespace
+{
+
+class MockOps : public PartitionOps
+{
+  public:
+    std::uint32_t actualSize(PartId) const override { return 0; }
+    LineId cacheLines() const override { return 1024; }
+    void demote(LineId, PartId) override {}
+    double exactFutility(LineId) const override { return 0.5; }
+};
+
+TEST(WayPart, ProportionalApportionment)
+{
+    MockOps ops;
+    WayPartitionScheme s(16);
+    s.bind(&ops, 2);
+    s.setTarget(0, 768);
+    s.setTarget(1, 256);
+    // 3:1 split of 16 ways => 12 and 4.
+    int ways0 = 0;
+    for (std::uint32_t w = 0; w < 16; ++w)
+        if (s.wayOwner(w) == 0)
+            ++ways0;
+    EXPECT_EQ(ways0, 12);
+}
+
+TEST(WayPart, EveryPartitionGetsAtLeastOneWay)
+{
+    MockOps ops;
+    WayPartitionScheme s(8);
+    s.bind(&ops, 4);
+    s.setTarget(0, 10000);
+    s.setTarget(1, 1);
+    s.setTarget(2, 1);
+    s.setTarget(3, 1);
+    std::vector<int> count(4, 0);
+    for (std::uint32_t w = 0; w < 8; ++w)
+        ++count[s.wayOwner(w)];
+    for (int c : count)
+        EXPECT_GE(c, 1);
+    EXPECT_EQ(count[0], 5);
+}
+
+TEST(WayPart, VictimOnlyFromOwnWays)
+{
+    MockOps ops;
+    WayPartitionScheme s(4);
+    s.bind(&ops, 2);
+    s.setTarget(0, 100);
+    s.setTarget(1, 100);
+    // Ways 0,1 -> partition 0; ways 2,3 -> partition 1.
+    CandidateVec c{{10, 0, 0.1}, {11, 0, 0.2}, {12, 1, 0.99},
+                   {13, 1, 0.98}};
+    // Partition 0 inserting: must pick among ways 0/1 even though
+    // way 2 has far higher futility.
+    EXPECT_EQ(s.selectVictim(c, 0), 1u);
+    EXPECT_EQ(s.selectVictim(c, 1), 2u);
+}
+
+TEST(WayPart, PickFreeSlotRespectsOwnership)
+{
+    MockOps ops;
+    WayPartitionScheme s(4);
+    s.bind(&ops, 2);
+    s.setTarget(0, 100);
+    s.setTarget(1, 100);
+    TagStore tags(8);
+    // Slots 0..3 are a set; fill partition 0's ways (0,1).
+    tags.install(0, 100, 0);
+    tags.install(1, 101, 0);
+    std::vector<LineId> slots{0, 1, 2, 3};
+    // Partition 0 has no free way even though 2,3 are invalid.
+    EXPECT_EQ(s.pickFreeSlot(slots, tags, 0), kInvalidLine);
+    EXPECT_EQ(s.pickFreeSlot(slots, tags, 1), 2u);
+}
+
+TEST(WayPart, EndToEndPlacementIsolation)
+{
+    CacheSpec spec;
+    spec.array.kind = ArrayKind::SetAssoc;
+    spec.array.numLines = 1024;
+    spec.array.ways = 16;
+    spec.ranking = RankKind::ExactLru;
+    spec.scheme.kind = SchemeKind::WayPart;
+    spec.numParts = 2;
+    auto cache = buildCache(spec);
+    cache->setTargets({768, 256});
+
+    Rng rng(3);
+    for (int i = 0; i < 30000; ++i) {
+        auto part = static_cast<PartId>(rng.below(2));
+        cache->access(part, (part + 1) * 100000 + rng.below(3000));
+    }
+
+    // Every valid line must sit in a way owned by its partition.
+    auto &scheme =
+        dynamic_cast<WayPartitionScheme &>(cache->scheme());
+    const TagStore &tags = cache->array().tags();
+    for (LineId id = 0; id < 1024; ++id) {
+        const Line &l = tags.line(id);
+        if (!l.valid)
+            continue;
+        std::uint32_t way = id % 16;
+        EXPECT_EQ(scheme.wayOwner(way), l.part)
+            << "line " << id << " in foreign way";
+    }
+    // Occupancies track the way split (12/16 and 4/16 of lines).
+    EXPECT_NEAR(cache->actualSize(0), 768.0, 16.0);
+    EXPECT_NEAR(cache->actualSize(1), 256.0, 16.0);
+}
+
+TEST(WayPart, RebalanceOnTargetChange)
+{
+    MockOps ops;
+    WayPartitionScheme s(8);
+    s.bind(&ops, 2);
+    s.setTarget(0, 400);
+    s.setTarget(1, 400);
+    int ways0 = 0;
+    for (std::uint32_t w = 0; w < 8; ++w)
+        if (s.wayOwner(w) == 0)
+            ++ways0;
+    EXPECT_EQ(ways0, 4);
+    s.setTarget(0, 700);
+    s.setTarget(1, 100);
+    ways0 = 0;
+    for (std::uint32_t w = 0; w < 8; ++w)
+        if (s.wayOwner(w) == 0)
+            ++ways0;
+    EXPECT_EQ(ways0, 7);
+}
+
+} // namespace
+} // namespace fscache

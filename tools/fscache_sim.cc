@@ -1,0 +1,226 @@
+/**
+ * @file
+ * fscache_sim: command-line driver for the partitioned-cache
+ * simulator.
+ *
+ * Examples:
+ *
+ *   # 8MB 16-way FS cache shared by mcf and three lbm threads,
+ *   # targets 40/20/20/20 percent, timed run:
+ *   fscache_sim --threads mcf,lbm,lbm,lbm --targets 40,20,20,20
+ *
+ *   # Vantage on a zcache, untimed, JSON output:
+ *   fscache_sim --scheme vantage --array zcache --untimed --json
+ *
+ *   # External text traces (one file per thread):
+ *   fscache_sim --traces t0.trc,t1.trc --scheme fs
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/arg_parser.hh"
+#include "core/fscache.hh"
+#include "stats/json_writer.hh"
+#include "trace/file_trace.hh"
+
+using namespace fscache;
+
+namespace
+{
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string item;
+    while (std::getline(in, item, sep))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+Allocation
+parseTargets(const std::string &spec, LineId manageable,
+             std::uint32_t threads)
+{
+    if (spec.empty())
+        return equalShare(manageable, threads);
+    std::vector<std::string> parts = split(spec, ',');
+    if (parts.size() != threads)
+        fatal("--targets has %zu entries for %u threads",
+              parts.size(), threads);
+    std::vector<double> fractions;
+    for (const std::string &p : parts)
+        fractions.push_back(std::stod(p));
+    return proportionalShare(manageable, fractions);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("fscache_sim",
+                   "trace-driven partitioned-cache simulator "
+                   "(Futility Scaling et al.)");
+    args.addString("scheme", "fs",
+                   "partitioning scheme: none|pf|fs-analytic|fs|"
+                   "vantage|prism|waypart");
+    args.addString("array", "setassoc",
+                   "array: setassoc|direct|skew|zcache|random|"
+                   "fullyassoc");
+    args.addString("ranking", "coarse",
+                   "futility ranking: lru|coarse|lfu|opt|random|"
+                   "rrip");
+    args.addString("hash", "xorfold",
+                   "index hash: modulo|xorfold|h3");
+    args.addInt("lines", 131072, "cache capacity in 64B lines");
+    args.addInt("ways", 16, "set-assoc ways");
+    args.addInt("candidates", 16, "random-array candidates R");
+    args.addString("threads", "mcf,lbm",
+                   "comma-separated benchmark list (one thread "
+                   "each)");
+    args.addString("traces", "",
+                   "comma-separated trace files (overrides "
+                   "--threads)");
+    args.addString("targets", "",
+                   "comma-separated target weights (default: "
+                   "equal)");
+    args.addInt("accesses", 200000, "accesses per thread");
+    args.addDouble("warmup", 0.2, "warmup fraction");
+    args.addInt("seed", 1, "master seed");
+    args.addFlag("untimed", "skip the timing model (faster)");
+    args.addFlag("nuca", "model banked-NUCA contention");
+    args.addFlag("json", "machine-readable JSON output");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    // Workload.
+    Workload wl;
+    std::vector<std::string> names;
+    std::string traces = args.getString("traces");
+    auto accesses =
+        static_cast<std::uint64_t>(args.getInt("accesses"));
+    if (!traces.empty()) {
+        std::vector<std::string> files = split(traces, ',');
+        for (std::uint32_t t = 0; t < files.size(); ++t)
+            names.push_back(files[t]);
+        wl = Workload::mix(
+            std::vector<std::string>(files.size(), "lbm"), 1,
+            args.getInt("seed"));
+        for (std::uint32_t t = 0; t < files.size(); ++t) {
+            wl.thread(t).benchmark = files[t];
+            wl.thread(t).trace = loadTraceFile(files[t]);
+        }
+    } else {
+        names = split(args.getString("threads"), ',');
+        if (names.empty())
+            fatal("--threads needs at least one benchmark");
+        wl = Workload::mix(names, accesses, args.getInt("seed"));
+    }
+    auto threads = static_cast<std::uint32_t>(names.size());
+
+    RankKind rank = parseRankKind(args.getString("ranking"));
+    if (rank == RankKind::Opt)
+        wl.annotateNextUse();
+
+    // Cache.
+    CacheSpec spec;
+    spec.array.kind = parseArrayKind(args.getString("array"));
+    spec.array.numLines =
+        static_cast<LineId>(args.getInt("lines"));
+    spec.array.ways =
+        static_cast<std::uint32_t>(args.getInt("ways"));
+    spec.array.hash = parseHashKind(args.getString("hash"));
+    spec.array.randomCands =
+        static_cast<std::uint32_t>(args.getInt("candidates"));
+    spec.ranking = rank;
+    spec.scheme.kind = parseSchemeKind(args.getString("scheme"));
+    spec.numParts = threads;
+    spec.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    auto cache = buildCache(spec);
+
+    auto manageable = static_cast<LineId>(
+        spec.array.numLines * cache->scheme().managedFraction());
+    cache->setTargets(parseTargets(args.getString("targets"),
+                                   manageable, threads));
+
+    // Run.
+    double warmup = args.getDouble("warmup");
+    std::unique_ptr<TimingSim> sim;
+    if (args.getFlag("untimed")) {
+        runUntimed(*cache, wl, warmup);
+    } else {
+        TimingConfig cfg;
+        cfg.warmupFraction = warmup;
+        cfg.modelNuca = args.getFlag("nuca");
+        sim = std::make_unique<TimingSim>(*cache, wl, cfg);
+        sim->run();
+    }
+
+    // Report.
+    if (args.getFlag("json")) {
+        JsonWriter json(std::cout);
+        json.field("scheme", cache->scheme().name());
+        json.field("array", cache->array().name());
+        json.field("ranking", cache->ranking().name());
+        json.field("lines",
+                   std::uint64_t{cache->cacheLines()});
+        json.beginArray("threads");
+        for (PartId p = 0; p < threads; ++p) {
+            json.beginObject();
+            json.field("benchmark", wl.thread(p).benchmark);
+            json.field("target",
+                       std::uint64_t{cache->scheme().target(p)});
+            json.field("occupancy",
+                       cache->deviation(p).meanOccupancy());
+            json.field("hits", cache->stats(p).hits);
+            json.field("misses", cache->stats(p).misses);
+            json.field("miss_ratio", cache->stats(p).missRatio());
+            json.field("aef", cache->assocDist(p).aef());
+            json.field("size_mad", cache->deviation(p).mad());
+            if (sim)
+                json.field("ipc", sim->perf(p).ipc());
+            json.endObject();
+        }
+        json.endArray();
+        if (sim)
+            json.field("throughput", sim->throughput());
+        json.finish();
+        std::printf("\n");
+        return 0;
+    }
+
+    std::printf("%s | %s | %s | %u lines, %u threads\n",
+                cache->scheme().name().c_str(),
+                cache->array().name().c_str(),
+                cache->ranking().name().c_str(),
+                cache->cacheLines(), threads);
+    TablePrinter table({"thread", "benchmark", "target", "occupancy",
+                        "miss ratio", "AEF", "MAD", "IPC"});
+    for (PartId p = 0; p < threads; ++p) {
+        table.addRow(
+            {strprintf("%u", p), wl.thread(p).benchmark,
+             TablePrinter::num(
+                 std::uint64_t{cache->scheme().target(p)}),
+             TablePrinter::num(cache->deviation(p).meanOccupancy(),
+                               1),
+             TablePrinter::num(cache->stats(p).missRatio(), 4),
+             TablePrinter::num(cache->assocDist(p).aef(), 3),
+             TablePrinter::num(cache->deviation(p).mad(), 1),
+             sim ? TablePrinter::num(sim->perf(p).ipc(), 3)
+                 : std::string("-")});
+    }
+    table.print(std::cout);
+    if (sim) {
+        std::printf("throughput (sum IPC): %.3f   avg memory "
+                    "queueing: %.1f cyc\n", sim->throughput(),
+                    sim->memory().avgQueueing());
+    }
+    return 0;
+}
