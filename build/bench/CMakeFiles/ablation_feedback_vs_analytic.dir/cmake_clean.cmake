@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feedback_vs_analytic.dir/ablation_feedback_vs_analytic.cc.o"
+  "CMakeFiles/ablation_feedback_vs_analytic.dir/ablation_feedback_vs_analytic.cc.o.d"
+  "ablation_feedback_vs_analytic"
+  "ablation_feedback_vs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feedback_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

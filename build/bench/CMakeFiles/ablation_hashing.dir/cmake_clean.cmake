@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hashing.dir/ablation_hashing.cc.o"
+  "CMakeFiles/ablation_hashing.dir/ablation_hashing.cc.o.d"
+  "ablation_hashing"
+  "ablation_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

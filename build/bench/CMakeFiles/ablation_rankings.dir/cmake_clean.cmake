@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rankings.dir/ablation_rankings.cc.o"
+  "CMakeFiles/ablation_rankings.dir/ablation_rankings.cc.o.d"
+  "ablation_rankings"
+  "ablation_rankings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rankings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

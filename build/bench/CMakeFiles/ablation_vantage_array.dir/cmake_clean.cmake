@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vantage_array.dir/ablation_vantage_array.cc.o"
+  "CMakeFiles/ablation_vantage_array.dir/ablation_vantage_array.cc.o.d"
+  "ablation_vantage_array"
+  "ablation_vantage_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vantage_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pf_degradation.dir/fig2_pf_degradation.cc.o"
+  "CMakeFiles/fig2_pf_degradation.dir/fig2_pf_degradation.cc.o.d"
+  "fig2_pf_degradation"
+  "fig2_pf_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pf_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scaling_factors.dir/fig3_scaling_factors.cc.o"
+  "CMakeFiles/fig3_scaling_factors.dir/fig3_scaling_factors.cc.o.d"
+  "fig3_scaling_factors"
+  "fig3_scaling_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scaling_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fs_vs_pf_associativity.dir/fig4_fs_vs_pf_associativity.cc.o"
+  "CMakeFiles/fig4_fs_vs_pf_associativity.dir/fig4_fs_vs_pf_associativity.cc.o.d"
+  "fig4_fs_vs_pf_associativity"
+  "fig4_fs_vs_pf_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fs_vs_pf_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_fs_vs_pf_associativity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_size_deviation.dir/fig5_size_deviation.cc.o"
+  "CMakeFiles/fig5_size_deviation.dir/fig5_size_deviation.cc.o.d"
+  "fig5_size_deviation"
+  "fig5_size_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_size_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

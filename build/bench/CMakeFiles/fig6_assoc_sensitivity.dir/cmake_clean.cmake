@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_assoc_sensitivity.dir/fig6_assoc_sensitivity.cc.o"
+  "CMakeFiles/fig6_assoc_sensitivity.dir/fig6_assoc_sensitivity.cc.o.d"
+  "fig6_assoc_sensitivity"
+  "fig6_assoc_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_assoc_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

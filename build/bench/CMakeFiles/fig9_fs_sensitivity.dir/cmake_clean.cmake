@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fs_sensitivity.dir/fig9_fs_sensitivity.cc.o"
+  "CMakeFiles/fig9_fs_sensitivity.dir/fig9_fs_sensitivity.cc.o.d"
+  "fig9_fs_sensitivity"
+  "fig9_fs_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fs_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

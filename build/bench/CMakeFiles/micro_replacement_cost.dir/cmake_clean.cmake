@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_replacement_cost.dir/micro_replacement_cost.cc.o"
+  "CMakeFiles/micro_replacement_cost.dir/micro_replacement_cost.cc.o.d"
+  "micro_replacement_cost"
+  "micro_replacement_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_replacement_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_protection.dir/qos_protection.cpp.o"
+  "CMakeFiles/qos_protection.dir/qos_protection.cpp.o.d"
+  "qos_protection"
+  "qos_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/scheme_comparison.cpp" "examples/CMakeFiles/scheme_comparison.dir/scheme_comparison.cpp.o" "gcc" "examples/CMakeFiles/scheme_comparison.dir/scheme_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

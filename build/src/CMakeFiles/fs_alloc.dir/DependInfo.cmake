@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/qos_alloc.cc" "src/CMakeFiles/fs_alloc.dir/alloc/qos_alloc.cc.o" "gcc" "src/CMakeFiles/fs_alloc.dir/alloc/qos_alloc.cc.o.d"
+  "/root/repo/src/alloc/static_alloc.cc" "src/CMakeFiles/fs_alloc.dir/alloc/static_alloc.cc.o" "gcc" "src/CMakeFiles/fs_alloc.dir/alloc/static_alloc.cc.o.d"
+  "/root/repo/src/alloc/umon.cc" "src/CMakeFiles/fs_alloc.dir/alloc/umon.cc.o" "gcc" "src/CMakeFiles/fs_alloc.dir/alloc/umon.cc.o.d"
+  "/root/repo/src/alloc/utility_alloc.cc" "src/CMakeFiles/fs_alloc.dir/alloc/utility_alloc.cc.o" "gcc" "src/CMakeFiles/fs_alloc.dir/alloc/utility_alloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

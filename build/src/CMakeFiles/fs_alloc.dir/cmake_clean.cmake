@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_alloc.dir/alloc/qos_alloc.cc.o"
+  "CMakeFiles/fs_alloc.dir/alloc/qos_alloc.cc.o.d"
+  "CMakeFiles/fs_alloc.dir/alloc/static_alloc.cc.o"
+  "CMakeFiles/fs_alloc.dir/alloc/static_alloc.cc.o.d"
+  "CMakeFiles/fs_alloc.dir/alloc/umon.cc.o"
+  "CMakeFiles/fs_alloc.dir/alloc/umon.cc.o.d"
+  "CMakeFiles/fs_alloc.dir/alloc/utility_alloc.cc.o"
+  "CMakeFiles/fs_alloc.dir/alloc/utility_alloc.cc.o.d"
+  "libfs_alloc.a"
+  "libfs_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

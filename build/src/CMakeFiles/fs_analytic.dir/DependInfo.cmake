@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/assoc_model.cc" "src/CMakeFiles/fs_analytic.dir/analytic/assoc_model.cc.o" "gcc" "src/CMakeFiles/fs_analytic.dir/analytic/assoc_model.cc.o.d"
+  "/root/repo/src/analytic/scaling_solver.cc" "src/CMakeFiles/fs_analytic.dir/analytic/scaling_solver.cc.o" "gcc" "src/CMakeFiles/fs_analytic.dir/analytic/scaling_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

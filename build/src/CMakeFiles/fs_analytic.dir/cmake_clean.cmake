@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_analytic.dir/analytic/assoc_model.cc.o"
+  "CMakeFiles/fs_analytic.dir/analytic/assoc_model.cc.o.d"
+  "CMakeFiles/fs_analytic.dir/analytic/scaling_solver.cc.o"
+  "CMakeFiles/fs_analytic.dir/analytic/scaling_solver.cc.o.d"
+  "libfs_analytic.a"
+  "libfs_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/array_factory.cc" "src/CMakeFiles/fs_cache.dir/cache/array_factory.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/array_factory.cc.o.d"
+  "/root/repo/src/cache/cache_array.cc" "src/CMakeFiles/fs_cache.dir/cache/cache_array.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/cache_array.cc.o.d"
+  "/root/repo/src/cache/fully_assoc_array.cc" "src/CMakeFiles/fs_cache.dir/cache/fully_assoc_array.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/fully_assoc_array.cc.o.d"
+  "/root/repo/src/cache/random_cands_array.cc" "src/CMakeFiles/fs_cache.dir/cache/random_cands_array.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/random_cands_array.cc.o.d"
+  "/root/repo/src/cache/set_assoc_array.cc" "src/CMakeFiles/fs_cache.dir/cache/set_assoc_array.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/set_assoc_array.cc.o.d"
+  "/root/repo/src/cache/skew_assoc_array.cc" "src/CMakeFiles/fs_cache.dir/cache/skew_assoc_array.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/skew_assoc_array.cc.o.d"
+  "/root/repo/src/cache/tag_store.cc" "src/CMakeFiles/fs_cache.dir/cache/tag_store.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/tag_store.cc.o.d"
+  "/root/repo/src/cache/zcache_array.cc" "src/CMakeFiles/fs_cache.dir/cache/zcache_array.cc.o" "gcc" "src/CMakeFiles/fs_cache.dir/cache/zcache_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

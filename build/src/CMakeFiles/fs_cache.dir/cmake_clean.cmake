@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_cache.dir/cache/array_factory.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/array_factory.cc.o.d"
+  "CMakeFiles/fs_cache.dir/cache/cache_array.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/cache_array.cc.o.d"
+  "CMakeFiles/fs_cache.dir/cache/fully_assoc_array.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/fully_assoc_array.cc.o.d"
+  "CMakeFiles/fs_cache.dir/cache/random_cands_array.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/random_cands_array.cc.o.d"
+  "CMakeFiles/fs_cache.dir/cache/set_assoc_array.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/set_assoc_array.cc.o.d"
+  "CMakeFiles/fs_cache.dir/cache/skew_assoc_array.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/skew_assoc_array.cc.o.d"
+  "CMakeFiles/fs_cache.dir/cache/tag_store.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/tag_store.cc.o.d"
+  "CMakeFiles/fs_cache.dir/cache/zcache_array.cc.o"
+  "CMakeFiles/fs_cache.dir/cache/zcache_array.cc.o.d"
+  "libfs_cache.a"
+  "libfs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_common.dir/common/arg_parser.cc.o"
+  "CMakeFiles/fs_common.dir/common/arg_parser.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/hashing.cc.o"
+  "CMakeFiles/fs_common.dir/common/hashing.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/log.cc.o"
+  "CMakeFiles/fs_common.dir/common/log.cc.o.d"
+  "CMakeFiles/fs_common.dir/common/random.cc.o"
+  "CMakeFiles/fs_common.dir/common/random.cc.o.d"
+  "libfs_common.a"
+  "libfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

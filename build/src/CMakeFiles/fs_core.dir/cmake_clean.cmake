@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_core.dir/core/cache_builder.cc.o"
+  "CMakeFiles/fs_core.dir/core/cache_builder.cc.o.d"
+  "libfs_core.a"
+  "libfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

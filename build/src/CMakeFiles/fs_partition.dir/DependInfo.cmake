@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/futility_scaling_analytic.cc" "src/CMakeFiles/fs_partition.dir/partition/futility_scaling_analytic.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/futility_scaling_analytic.cc.o.d"
+  "/root/repo/src/partition/futility_scaling_feedback.cc" "src/CMakeFiles/fs_partition.dir/partition/futility_scaling_feedback.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/futility_scaling_feedback.cc.o.d"
+  "/root/repo/src/partition/partition_scheme.cc" "src/CMakeFiles/fs_partition.dir/partition/partition_scheme.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/partition_scheme.cc.o.d"
+  "/root/repo/src/partition/partitioning_first_scheme.cc" "src/CMakeFiles/fs_partition.dir/partition/partitioning_first_scheme.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/partitioning_first_scheme.cc.o.d"
+  "/root/repo/src/partition/prism_scheme.cc" "src/CMakeFiles/fs_partition.dir/partition/prism_scheme.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/prism_scheme.cc.o.d"
+  "/root/repo/src/partition/scheme_factory.cc" "src/CMakeFiles/fs_partition.dir/partition/scheme_factory.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/scheme_factory.cc.o.d"
+  "/root/repo/src/partition/unpartitioned_scheme.cc" "src/CMakeFiles/fs_partition.dir/partition/unpartitioned_scheme.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/unpartitioned_scheme.cc.o.d"
+  "/root/repo/src/partition/vantage_scheme.cc" "src/CMakeFiles/fs_partition.dir/partition/vantage_scheme.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/vantage_scheme.cc.o.d"
+  "/root/repo/src/partition/way_partition_scheme.cc" "src/CMakeFiles/fs_partition.dir/partition/way_partition_scheme.cc.o" "gcc" "src/CMakeFiles/fs_partition.dir/partition/way_partition_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_analytic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_partition.dir/partition/futility_scaling_analytic.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/futility_scaling_analytic.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/futility_scaling_feedback.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/futility_scaling_feedback.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/partition_scheme.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/partition_scheme.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/partitioning_first_scheme.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/partitioning_first_scheme.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/prism_scheme.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/prism_scheme.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/scheme_factory.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/scheme_factory.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/unpartitioned_scheme.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/unpartitioned_scheme.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/vantage_scheme.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/vantage_scheme.cc.o.d"
+  "CMakeFiles/fs_partition.dir/partition/way_partition_scheme.cc.o"
+  "CMakeFiles/fs_partition.dir/partition/way_partition_scheme.cc.o.d"
+  "libfs_partition.a"
+  "libfs_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ranking/coarse_ts_lru_ranking.cc" "src/CMakeFiles/fs_ranking.dir/ranking/coarse_ts_lru_ranking.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/coarse_ts_lru_ranking.cc.o.d"
+  "/root/repo/src/ranking/exact_lru_ranking.cc" "src/CMakeFiles/fs_ranking.dir/ranking/exact_lru_ranking.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/exact_lru_ranking.cc.o.d"
+  "/root/repo/src/ranking/lfu_ranking.cc" "src/CMakeFiles/fs_ranking.dir/ranking/lfu_ranking.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/lfu_ranking.cc.o.d"
+  "/root/repo/src/ranking/opt_ranking.cc" "src/CMakeFiles/fs_ranking.dir/ranking/opt_ranking.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/opt_ranking.cc.o.d"
+  "/root/repo/src/ranking/random_ranking.cc" "src/CMakeFiles/fs_ranking.dir/ranking/random_ranking.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/random_ranking.cc.o.d"
+  "/root/repo/src/ranking/ranking_factory.cc" "src/CMakeFiles/fs_ranking.dir/ranking/ranking_factory.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/ranking_factory.cc.o.d"
+  "/root/repo/src/ranking/rrip_ranking.cc" "src/CMakeFiles/fs_ranking.dir/ranking/rrip_ranking.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/rrip_ranking.cc.o.d"
+  "/root/repo/src/ranking/treap_ranking_base.cc" "src/CMakeFiles/fs_ranking.dir/ranking/treap_ranking_base.cc.o" "gcc" "src/CMakeFiles/fs_ranking.dir/ranking/treap_ranking_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

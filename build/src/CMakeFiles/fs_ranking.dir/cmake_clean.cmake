@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_ranking.dir/ranking/coarse_ts_lru_ranking.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/coarse_ts_lru_ranking.cc.o.d"
+  "CMakeFiles/fs_ranking.dir/ranking/exact_lru_ranking.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/exact_lru_ranking.cc.o.d"
+  "CMakeFiles/fs_ranking.dir/ranking/lfu_ranking.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/lfu_ranking.cc.o.d"
+  "CMakeFiles/fs_ranking.dir/ranking/opt_ranking.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/opt_ranking.cc.o.d"
+  "CMakeFiles/fs_ranking.dir/ranking/random_ranking.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/random_ranking.cc.o.d"
+  "CMakeFiles/fs_ranking.dir/ranking/ranking_factory.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/ranking_factory.cc.o.d"
+  "CMakeFiles/fs_ranking.dir/ranking/rrip_ranking.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/rrip_ranking.cc.o.d"
+  "CMakeFiles/fs_ranking.dir/ranking/treap_ranking_base.cc.o"
+  "CMakeFiles/fs_ranking.dir/ranking/treap_ranking_base.cc.o.d"
+  "libfs_ranking.a"
+  "libfs_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

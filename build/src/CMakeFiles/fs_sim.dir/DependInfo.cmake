@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/fs_sim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/fs_sim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/memory_model.cc" "src/CMakeFiles/fs_sim.dir/sim/memory_model.cc.o" "gcc" "src/CMakeFiles/fs_sim.dir/sim/memory_model.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/fs_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/fs_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/nuca_model.cc" "src/CMakeFiles/fs_sim.dir/sim/nuca_model.cc.o" "gcc" "src/CMakeFiles/fs_sim.dir/sim/nuca_model.cc.o.d"
+  "/root/repo/src/sim/partitioned_cache.cc" "src/CMakeFiles/fs_sim.dir/sim/partitioned_cache.cc.o" "gcc" "src/CMakeFiles/fs_sim.dir/sim/partitioned_cache.cc.o.d"
+  "/root/repo/src/sim/system_config.cc" "src/CMakeFiles/fs_sim.dir/sim/system_config.cc.o" "gcc" "src/CMakeFiles/fs_sim.dir/sim/system_config.cc.o.d"
+  "/root/repo/src/sim/timing_sim.cc" "src/CMakeFiles/fs_sim.dir/sim/timing_sim.cc.o" "gcc" "src/CMakeFiles/fs_sim.dir/sim/timing_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fs_analytic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/memory_model.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/memory_model.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/nuca_model.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/nuca_model.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/partitioned_cache.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/partitioned_cache.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/system_config.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/system_config.cc.o.d"
+  "CMakeFiles/fs_sim.dir/sim/timing_sim.cc.o"
+  "CMakeFiles/fs_sim.dir/sim/timing_sim.cc.o.d"
+  "libfs_sim.a"
+  "libfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

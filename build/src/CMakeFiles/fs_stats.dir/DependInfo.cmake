@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/assoc_distribution.cc" "src/CMakeFiles/fs_stats.dir/stats/assoc_distribution.cc.o" "gcc" "src/CMakeFiles/fs_stats.dir/stats/assoc_distribution.cc.o.d"
+  "/root/repo/src/stats/deviation_tracker.cc" "src/CMakeFiles/fs_stats.dir/stats/deviation_tracker.cc.o" "gcc" "src/CMakeFiles/fs_stats.dir/stats/deviation_tracker.cc.o.d"
+  "/root/repo/src/stats/gof_tests.cc" "src/CMakeFiles/fs_stats.dir/stats/gof_tests.cc.o" "gcc" "src/CMakeFiles/fs_stats.dir/stats/gof_tests.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/fs_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/fs_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/json_writer.cc" "src/CMakeFiles/fs_stats.dir/stats/json_writer.cc.o" "gcc" "src/CMakeFiles/fs_stats.dir/stats/json_writer.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/CMakeFiles/fs_stats.dir/stats/running_stats.cc.o" "gcc" "src/CMakeFiles/fs_stats.dir/stats/running_stats.cc.o.d"
+  "/root/repo/src/stats/table_printer.cc" "src/CMakeFiles/fs_stats.dir/stats/table_printer.cc.o" "gcc" "src/CMakeFiles/fs_stats.dir/stats/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_stats.dir/stats/assoc_distribution.cc.o"
+  "CMakeFiles/fs_stats.dir/stats/assoc_distribution.cc.o.d"
+  "CMakeFiles/fs_stats.dir/stats/deviation_tracker.cc.o"
+  "CMakeFiles/fs_stats.dir/stats/deviation_tracker.cc.o.d"
+  "CMakeFiles/fs_stats.dir/stats/gof_tests.cc.o"
+  "CMakeFiles/fs_stats.dir/stats/gof_tests.cc.o.d"
+  "CMakeFiles/fs_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/fs_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/fs_stats.dir/stats/json_writer.cc.o"
+  "CMakeFiles/fs_stats.dir/stats/json_writer.cc.o.d"
+  "CMakeFiles/fs_stats.dir/stats/running_stats.cc.o"
+  "CMakeFiles/fs_stats.dir/stats/running_stats.cc.o.d"
+  "CMakeFiles/fs_stats.dir/stats/table_printer.cc.o"
+  "CMakeFiles/fs_stats.dir/stats/table_printer.cc.o.d"
+  "libfs_stats.a"
+  "libfs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

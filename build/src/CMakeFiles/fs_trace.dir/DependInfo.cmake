@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/benchmark_profiles.cc" "src/CMakeFiles/fs_trace.dir/trace/benchmark_profiles.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/benchmark_profiles.cc.o.d"
+  "/root/repo/src/trace/cyclic_generator.cc" "src/CMakeFiles/fs_trace.dir/trace/cyclic_generator.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/cyclic_generator.cc.o.d"
+  "/root/repo/src/trace/file_trace.cc" "src/CMakeFiles/fs_trace.dir/trace/file_trace.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/file_trace.cc.o.d"
+  "/root/repo/src/trace/l1_filter.cc" "src/CMakeFiles/fs_trace.dir/trace/l1_filter.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/l1_filter.cc.o.d"
+  "/root/repo/src/trace/mixture_generator.cc" "src/CMakeFiles/fs_trace.dir/trace/mixture_generator.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/mixture_generator.cc.o.d"
+  "/root/repo/src/trace/next_use_annotator.cc" "src/CMakeFiles/fs_trace.dir/trace/next_use_annotator.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/next_use_annotator.cc.o.d"
+  "/root/repo/src/trace/phased_generator.cc" "src/CMakeFiles/fs_trace.dir/trace/phased_generator.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/phased_generator.cc.o.d"
+  "/root/repo/src/trace/stack_dist_generator.cc" "src/CMakeFiles/fs_trace.dir/trace/stack_dist_generator.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/stack_dist_generator.cc.o.d"
+  "/root/repo/src/trace/stream_generator.cc" "src/CMakeFiles/fs_trace.dir/trace/stream_generator.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/stream_generator.cc.o.d"
+  "/root/repo/src/trace/trace_buffer.cc" "src/CMakeFiles/fs_trace.dir/trace/trace_buffer.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/trace_buffer.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/fs_trace.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/fs_trace.dir/trace/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

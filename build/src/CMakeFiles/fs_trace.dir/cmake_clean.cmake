@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_trace.dir/trace/benchmark_profiles.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/benchmark_profiles.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/cyclic_generator.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/cyclic_generator.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/file_trace.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/file_trace.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/l1_filter.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/l1_filter.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/mixture_generator.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/mixture_generator.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/next_use_annotator.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/next_use_annotator.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/phased_generator.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/phased_generator.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/stack_dist_generator.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/stack_dist_generator.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/stream_generator.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/stream_generator.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/trace_buffer.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/trace_buffer.cc.o.d"
+  "CMakeFiles/fs_trace.dir/trace/workload.cc.o"
+  "CMakeFiles/fs_trace.dir/trace/workload.cc.o.d"
+  "libfs_trace.a"
+  "libfs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

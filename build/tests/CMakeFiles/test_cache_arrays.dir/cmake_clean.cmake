@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_arrays.dir/test_cache_arrays.cc.o"
+  "CMakeFiles/test_cache_arrays.dir/test_cache_arrays.cc.o.d"
+  "test_cache_arrays"
+  "test_cache_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

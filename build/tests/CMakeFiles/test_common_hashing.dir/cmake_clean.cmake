@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_hashing.dir/test_common_hashing.cc.o"
+  "CMakeFiles/test_common_hashing.dir/test_common_hashing.cc.o.d"
+  "test_common_hashing"
+  "test_common_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

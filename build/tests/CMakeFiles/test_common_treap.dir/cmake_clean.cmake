@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_treap.dir/test_common_treap.cc.o"
+  "CMakeFiles/test_common_treap.dir/test_common_treap.cc.o.d"
+  "test_common_treap"
+  "test_common_treap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_treap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gof.dir/test_gof.cc.o"
+  "CMakeFiles/test_gof.dir/test_gof.cc.o.d"
+  "test_gof"
+  "test_gof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

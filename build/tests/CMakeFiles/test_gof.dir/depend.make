@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gof.
+# This may be replaced when dependencies are built.

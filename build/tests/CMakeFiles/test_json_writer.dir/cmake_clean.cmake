@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_writer.dir/test_json_writer.cc.o"
+  "CMakeFiles/test_json_writer.dir/test_json_writer.cc.o.d"
+  "test_json_writer"
+  "test_json_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

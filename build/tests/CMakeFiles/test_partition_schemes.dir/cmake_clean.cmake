@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_schemes.dir/test_partition_schemes.cc.o"
+  "CMakeFiles/test_partition_schemes.dir/test_partition_schemes.cc.o.d"
+  "test_partition_schemes"
+  "test_partition_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_vantage_prism.dir/test_partition_vantage_prism.cc.o"
+  "CMakeFiles/test_partition_vantage_prism.dir/test_partition_vantage_prism.cc.o.d"
+  "test_partition_vantage_prism"
+  "test_partition_vantage_prism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_vantage_prism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

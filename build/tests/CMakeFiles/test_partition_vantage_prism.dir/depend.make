@@ -1,0 +1,2 @@
+# Empty dependencies file for test_partition_vantage_prism.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_cache.dir/test_partitioned_cache.cc.o"
+  "CMakeFiles/test_partitioned_cache.dir/test_partitioned_cache.cc.o.d"
+  "test_partitioned_cache"
+  "test_partitioned_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

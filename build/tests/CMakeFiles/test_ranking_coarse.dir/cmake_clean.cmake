@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranking_coarse.dir/test_ranking_coarse.cc.o"
+  "CMakeFiles/test_ranking_coarse.dir/test_ranking_coarse.cc.o.d"
+  "test_ranking_coarse"
+  "test_ranking_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranking_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_model.dir/test_reference_model.cc.o"
+  "CMakeFiles/test_reference_model.dir/test_reference_model.cc.o.d"
+  "test_reference_model"
+  "test_reference_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

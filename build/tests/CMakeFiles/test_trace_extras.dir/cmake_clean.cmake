@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_extras.dir/test_trace_extras.cc.o"
+  "CMakeFiles/test_trace_extras.dir/test_trace_extras.cc.o.d"
+  "test_trace_extras"
+  "test_trace_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umon.dir/test_umon.cc.o"
+  "CMakeFiles/test_umon.dir/test_umon.cc.o.d"
+  "test_umon"
+  "test_umon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

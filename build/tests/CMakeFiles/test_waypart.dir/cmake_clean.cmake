@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waypart.dir/test_waypart.cc.o"
+  "CMakeFiles/test_waypart.dir/test_waypart.cc.o.d"
+  "test_waypart"
+  "test_waypart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waypart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

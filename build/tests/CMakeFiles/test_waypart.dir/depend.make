@@ -1,0 +1,2 @@
+# Empty dependencies file for test_waypart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fscache_sim.dir/fscache_sim.cc.o"
+  "CMakeFiles/fscache_sim.dir/fscache_sim.cc.o.d"
+  "fscache_sim"
+  "fscache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fscache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

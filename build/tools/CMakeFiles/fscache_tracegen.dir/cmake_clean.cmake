@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fscache_tracegen.dir/fscache_tracegen.cc.o"
+  "CMakeFiles/fscache_tracegen.dir/fscache_tracegen.cc.o.d"
+  "fscache_tracegen"
+  "fscache_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fscache_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
