@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "runner/sweep_runner.hh"
 
 using namespace fscache;
 
@@ -90,6 +91,26 @@ main()
     // FS_BENCH_SCALE for tighter statistics.
     const std::uint64_t accesses = bench::scaled(150000);
 
+    const std::vector<std::string> benches{
+        "mcf",   "omnetpp",    "gromacs", "h264ref",
+        "astar", "cactusadm", "libquantum", "lbm"};
+
+    // Every (benchmark x N x array) run is one independent sweep
+    // cell with hard-coded seeds, so the sharded runs below produce
+    // exactly the serial values; rows 0..7 are the set-assoc runs
+    // of `benches` and row 8 is mcf on the ideal array.
+    SweepRunner runner;
+    auto grid = runner.mapGrid(
+        benches.size() + 1, kPartCounts.size(),
+        [&](std::size_t row, std::size_t col) {
+            if (row == benches.size())
+                return run("mcf", kPartCounts[col], accesses,
+                           ArrayKind::RandomCands);
+            return run(benches[row], kPartCounts[col], accesses);
+        });
+    const std::vector<RunResult> &mcf_results = grid[0];
+    const std::vector<RunResult> &mcf_ideal = grid[benches.size()];
+
     bench::section("(a) mcf: associativity of the 1st partition");
     // Two arrays: the paper's 16-way set-assoc L2, and the ideal
     // random-candidates array whose uniform candidates isolate the
@@ -99,41 +120,32 @@ main()
     TablePrinter aef_table({"N", "AEF (16-way SA)", "AEF (ideal R=16)",
                             "SA CDF@0.4", "SA CDF@0.6",
                             "SA CDF@0.8"});
-    std::vector<RunResult> mcf_results;
-    for (std::uint32_t n : kPartCounts) {
-        RunResult r = run("mcf", n, accesses);
-        RunResult ideal =
-            run("mcf", n, accesses, ArrayKind::RandomCands);
-        aef_table.addRow({TablePrinter::num(std::uint64_t{n}),
-                          TablePrinter::num(r.aef, 3),
-                          TablePrinter::num(ideal.aef, 3),
-                          TablePrinter::num(r.cdf[3], 3),
-                          TablePrinter::num(r.cdf[5], 3),
-                          TablePrinter::num(r.cdf[7], 3)});
-        mcf_results.push_back(std::move(r));
+    for (std::size_t i = 0; i < kPartCounts.size(); ++i) {
+        const RunResult &r = mcf_results[i];
+        aef_table.addRow(
+            {TablePrinter::num(std::uint64_t{kPartCounts[i]}),
+             TablePrinter::num(r.aef, 3),
+             TablePrinter::num(mcf_ideal[i].aef, 3),
+             TablePrinter::num(r.cdf[3], 3),
+             TablePrinter::num(r.cdf[5], 3),
+             TablePrinter::num(r.cdf[7], 3)});
     }
     aef_table.print(std::cout);
     std::printf("(worst case is the diagonal CDF: AEF = 0.5; paper "
                 "AEFs: 0.95, 0.82, 0.74, 0.66, 0.60, 0.56)\n");
     std::fflush(stdout);
 
-    const std::vector<std::string> benches{
-        "mcf",   "omnetpp",    "gromacs", "h264ref",
-        "astar", "cactusadm", "libquantum", "lbm"};
-
     TablePrinter miss_table({"benchmark", "N=1", "N=2", "N=4", "N=8",
                              "N=16", "N=32"});
     TablePrinter ipc_table({"benchmark", "N=1", "N=2", "N=4", "N=8",
                             "N=16", "N=32"});
-    for (const auto &name : benches) {
-        std::vector<std::string> miss_row{name};
-        std::vector<std::string> ipc_row{name};
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        std::vector<std::string> miss_row{benches[b]};
+        std::vector<std::string> ipc_row{benches[b]};
         double base_misses = 0.0;
         double base_ipc = 0.0;
         for (std::size_t i = 0; i < kPartCounts.size(); ++i) {
-            RunResult r = (name == "mcf")
-                              ? mcf_results[i]
-                              : run(name, kPartCounts[i], accesses);
+            const RunResult &r = grid[b][i];
             if (i == 0) {
                 base_misses = static_cast<double>(r.misses);
                 base_ipc = r.ipc;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "runner/sweep_runner.hh"
 #include "trace/benchmark_profiles.hh"
 
 using namespace fscache;
@@ -85,19 +86,31 @@ main()
                   "Associativity CDF of FS vs PF, two mcf threads, "
                   "2MB random-candidates cache, R = 16, I1/I2 = 1");
 
+    // 2 splits x 2 schemes = 4 independent cells (fixed seeds per
+    // cell), sharded by SweepRunner; grid[i] = {FS, PF} at splits[i].
+    const std::vector<double> splits{0.9, 0.6};
+    SweepRunner runner;
+    auto grid = runner.mapGrid(
+        splits.size(), 2, [&](std::size_t i, std::size_t scheme) {
+            return run(scheme == 0 ? SchemeKind::FsAnalytic
+                                   : SchemeKind::PF,
+                       splits[i]);
+        });
+
     TablePrinter table({"scheme", "S1/S2", "AEF part1", "AEF part2",
                         "analytic AEF part2"});
     TablePrinter cdf({"scheme", "S2", "0.2", "0.4", "0.6", "0.8",
                       "0.9", "1.0"});
-    for (double s1 : {0.9, 0.6}) {
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+        double s1 = splits[i];
         std::vector<analytic::PartitionSpec> parts{{s1, 0.5},
                                                    {1.0 - s1, 0.5}};
         std::vector<double> alphas{
             1.0, analytic::scalingFactorTwoPart(s1, 0.5, kR)};
         double model_aef2 = analytic::fsAef(parts, alphas, kR, 1);
 
-        Result fs = run(SchemeKind::FsAnalytic, s1);
-        Result pf = run(SchemeKind::PF, s1);
+        const Result &fs = grid[i][0];
+        const Result &pf = grid[i][1];
         std::string split = strprintf("%.0f/%.0f", s1 * 10,
                                       (1.0 - s1) * 10);
         table.addRow({"FS", split, TablePrinter::num(fs.aef1, 3),

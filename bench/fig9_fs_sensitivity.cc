@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "qos_common.hh"
+#include "runner/sweep_runner.hh"
 
 using namespace fscache;
 using namespace fscache::bench;
@@ -75,14 +76,34 @@ main()
 
     const std::uint64_t accesses = bench::scaled(80000);
 
+    // One cell per parameter point: cells 0..5 sweep the interval
+    // length, cells 6..8 sweep the changing ratio. Every cell
+    // builds its own cache/workload from fixed seeds, so the
+    // parallel sweep matches the serial values exactly.
+    const std::vector<std::uint32_t> lengths{4, 8, 16, 32, 64, 128};
+    const std::vector<double> ratios{1.41421356, 2.0, 4.0};
+    std::vector<FsFeedbackConfig> cells;
+    for (std::uint32_t l : lengths) {
+        FsFeedbackConfig cfg;
+        cfg.intervalLength = l;
+        cells.push_back(cfg);
+    }
+    for (double ratio : ratios) {
+        FsFeedbackConfig cfg;
+        cfg.changingRatio = ratio;
+        cells.push_back(cfg);
+    }
+    SweepRunner runner;
+    auto results = runner.map(cells.size(), [&](std::size_t i) {
+        return run(cells[i], accesses);
+    });
+
     bench::section("interval length l (changing ratio = 2)");
     TablePrinter l_table({"l", "occupancy err", "size MAD (lines)",
                           "subject AEF"});
-    for (std::uint32_t l : {4u, 8u, 16u, 32u, 64u, 128u}) {
-        FsFeedbackConfig cfg;
-        cfg.intervalLength = l;
-        SensResult r = run(cfg, accesses);
-        l_table.addRow({TablePrinter::num(std::uint64_t{l}),
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+        const SensResult &r = results[i];
+        l_table.addRow({TablePrinter::num(std::uint64_t{lengths[i]}),
                         TablePrinter::num(r.occErr, 4),
                         TablePrinter::num(r.mad, 1),
                         TablePrinter::num(r.aef, 3)});
@@ -92,11 +113,9 @@ main()
     bench::section("changing ratio (l = 16)");
     TablePrinter a_table({"ratio", "occupancy err",
                           "size MAD (lines)", "subject AEF"});
-    for (double ratio : {1.41421356, 2.0, 4.0}) {
-        FsFeedbackConfig cfg;
-        cfg.changingRatio = ratio;
-        SensResult r = run(cfg, accesses);
-        a_table.addRow({TablePrinter::num(ratio, 3),
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        const SensResult &r = results[lengths.size() + i];
+        a_table.addRow({TablePrinter::num(ratios[i], 3),
                         TablePrinter::num(r.occErr, 4),
                         TablePrinter::num(r.mad, 1),
                         TablePrinter::num(r.aef, 3)});

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Microbench for the SweepRunner subsystem: runs a fixed grid of
+ * independent simulation cells (build cache -> drive trace ->
+ * collect misses) serially (1 job) and in parallel (FS_JOBS,
+ * default hardware concurrency) and reports cells/sec for each,
+ * plus the speedup. Also cross-checks that the per-cell miss
+ * counts are identical between the two runs — the determinism
+ * guarantee the figure benches rely on.
+ *
+ * Run on a multi-core host, expect near-linear scaling: the cells
+ * are seconds of pure compute with no shared mutable state.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "runner/sweep_runner.hh"
+
+using namespace fscache;
+
+namespace
+{
+
+constexpr std::size_t kCells = 24;
+
+/** One sweep cell: a private small cache driven by its own trace. */
+std::uint64_t
+runCell(std::size_t cell)
+{
+    const char *benches[] = {"mcf", "omnetpp", "h264ref", "lbm"};
+    CacheSpec spec;
+    spec.array.kind = ArrayKind::SetAssoc;
+    spec.array.numLines = 4096 << (cell % 3);
+    spec.array.ways = 16;
+    spec.array.hash = HashKind::XorFold;
+    spec.ranking = RankKind::CoarseTsLru;
+    spec.scheme.kind = SchemeKind::Fs;
+    spec.numParts = 2;
+    spec.seed = 100 + cell;
+    auto cache = buildCache(spec);
+    cache->setTargets({spec.array.numLines / 2,
+                       spec.array.numLines / 2});
+
+    Workload wl = Workload::mix(
+        {benches[cell % 4], benches[(cell + 1) % 4]},
+        bench::scaled(60000), 9000 + cell);
+    runUntimed(*cache, wl, 0.2);
+    return cache->stats(0).misses + cache->stats(1).misses;
+}
+
+double
+timeSweep(unsigned jobs, std::vector<std::uint64_t> &misses)
+{
+    SweepRunner runner(jobs);
+    auto t0 = std::chrono::steady_clock::now();
+    misses = runner.map(kCells, runCell);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("micro_sweep_throughput",
+                  "SweepRunner cells/sec, serial vs parallel");
+
+    const unsigned jobs = SweepRunner::defaultJobs();
+    std::printf("cells: %zu   parallel jobs: %u (FS_JOBS)\n\n",
+                kCells, jobs);
+
+    std::vector<std::uint64_t> serial_misses;
+    std::vector<std::uint64_t> parallel_misses;
+    double t_serial = timeSweep(1, serial_misses);
+    double t_parallel = timeSweep(jobs, parallel_misses);
+
+    bool identical = serial_misses == parallel_misses;
+
+    TablePrinter table({"mode", "jobs", "seconds", "cells/sec"});
+    table.addRow({"serial", "1", TablePrinter::num(t_serial, 2),
+                  TablePrinter::num(kCells / t_serial, 2)});
+    table.addRow({"parallel", strprintf("%u", jobs),
+                  TablePrinter::num(t_parallel, 2),
+                  TablePrinter::num(kCells / t_parallel, 2)});
+    table.print(std::cout);
+
+    std::printf("\nspeedup: %.2fx   per-cell results identical: "
+                "%s\n", t_serial / t_parallel,
+                identical ? "yes" : "NO (BUG)");
+    return identical ? 0 : 1;
+}

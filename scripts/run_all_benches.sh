@@ -1,6 +1,13 @@
 #!/bin/sh
 # Run every figure/ablation bench and collect the outputs under
-# results/. FS_BENCH_SCALE scales workload sizes (default 1).
+# results/. FS_BENCH_SCALE scales workload sizes (default 1);
+# FS_JOBS controls sweep parallelism inside each bench.
+#
+# A bench failure fails the whole script with that bench's exit
+# status. The bench's stdout is captured to a file and echoed
+# afterwards (rather than piped through tee) because plain sh has
+# no pipefail: a crashing bench upstream of tee would otherwise
+# report tee's success and the script would claim a clean pass.
 set -e
 
 build_dir="${1:-build}"
@@ -10,7 +17,14 @@ mkdir -p "$out_dir"
 for b in "$build_dir"/bench/*; do
     name=$(basename "$b")
     echo "== $name =="
-    "$b" 2>"$out_dir/$name.err" | tee "$out_dir/$name.txt"
+    status=0
+    "$b" >"$out_dir/$name.txt" 2>"$out_dir/$name.err" || status=$?
+    cat "$out_dir/$name.txt"
+    if [ "$status" -ne 0 ]; then
+        echo "FAILED: $name exited with status $status" \
+             "(stderr in $out_dir/$name.err)" >&2
+        exit "$status"
+    fi
 done
 
 echo "All bench outputs in $out_dir/"

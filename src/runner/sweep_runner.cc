@@ -1,0 +1,30 @@
+#include "runner/sweep_runner.hh"
+
+#include <cstdlib>
+#include <thread>
+
+namespace fscache
+{
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    const char *env = std::getenv("FS_JOBS");
+    if (env != nullptr && *env != '\0') {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0' || v < 1)
+            fatal("FS_JOBS must be a positive integer, got \"%s\"",
+                  env);
+        return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs > 0 ? jobs : defaultJobs())
+{
+}
+
+} // namespace fscache

@@ -1,0 +1,138 @@
+#include "runner/thread_pool.hh"
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    fs_assert(threads >= 1, "pool needs at least one thread");
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        stop_.store(true, std::memory_order_release);
+        ++signals_;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    fs_assert(!stop_.load(std::memory_order_acquire),
+              "submit on a stopping pool");
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    unsigned q = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+                 static_cast<unsigned>(queues_.size());
+    {
+        std::lock_guard<std::mutex> g(queues_[q]->mu);
+        queues_[q]->tasks.push_back(std::move(task));
+    }
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        ++signals_;
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        lk.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+bool
+ThreadPool::popLocal(unsigned self, std::function<void()> &out)
+{
+    Queue &q = *queues_[self];
+    std::lock_guard<std::mutex> g(q.mu);
+    if (q.tasks.empty())
+        return false;
+    out = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(unsigned self, std::function<void()> &out)
+{
+    const auto n = static_cast<unsigned>(queues_.size());
+    for (unsigned i = 1; i < n; ++i) {
+        Queue &q = *queues_[(self + i) % n];
+        std::lock_guard<std::mutex> g(q.mu);
+        if (q.tasks.empty())
+            continue;
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::finishTask()
+{
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> g(mu_);
+        idle_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    std::function<void()> task;
+    while (true) {
+        // Snapshot the signal counter before scanning so a submit
+        // racing with a failed scan wakes us instead of being lost.
+        std::uint64_t sig;
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            sig = signals_;
+        }
+        if (popLocal(self, task) || steal(self, task)) {
+            try {
+                task();
+            } catch (...) {
+                std::lock_guard<std::mutex> g(mu_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+            }
+            task = nullptr;
+            finishTask();
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        wake_.wait(lk, [this, sig] {
+            return stop_.load(std::memory_order_acquire) ||
+                   signals_ != sig;
+        });
+        if (stop_.load(std::memory_order_acquire))
+            return;
+    }
+}
+
+} // namespace fscache

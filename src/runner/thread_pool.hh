@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Work-stealing thread pool for coarse-grained sweep cells.
+ *
+ * Each worker owns a deque; submit() distributes tasks round-robin,
+ * workers pop their own deque LIFO and steal FIFO from the others
+ * when empty. Tasks are expected to be independent simulation cells
+ * (seconds of work each), so the stealing path is about keeping
+ * stragglers busy at the end of a sweep, not about nanosecond-level
+ * queue contention.
+ *
+ * An exception escaping a task is captured; the first one is
+ * rethrown from waitIdle() after every submitted task has finished,
+ * so a throwing cell can never deadlock the pool.
+ */
+
+#ifndef FSCACHE_RUNNER_THREAD_POOL_HH
+#define FSCACHE_RUNNER_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fscache
+{
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (>= 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for running tasks, drops queued ones, joins workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    { return static_cast<unsigned>(workers_.size()); }
+
+    /** Enqueue a task; it may start running immediately. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. If any task
+     * threw, rethrows the first captured exception (the remaining
+     * tasks still run to completion first). The pool stays usable
+     * afterwards.
+     */
+    void waitIdle();
+
+  private:
+    struct Queue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    bool popLocal(unsigned self, std::function<void()> &out);
+    bool steal(unsigned self, std::function<void()> &out);
+    void workerLoop(unsigned self);
+    void finishTask();
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_; ///< guards wake_/idle_/signals_/firstError_
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::uint64_t signals_ = 0; ///< bumped per submit (missed-wakeup guard)
+    std::exception_ptr firstError_;
+
+    std::atomic<std::uint64_t> pending_{0}; ///< submitted, not finished
+    std::atomic<unsigned> nextQueue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RUNNER_THREAD_POOL_HH

@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include "common/log.hh"
+#include "runner/sweep_runner.hh"
 #include "trace/benchmark_profiles.hh"
 #include "trace/trace_buffer.hh"
 
@@ -73,9 +74,10 @@ cumulative(const std::vector<double> &probs)
     std::vector<double> cum(probs.size(), 0.0);
     double total = 0.0;
     for (double p : probs) {
-        fs_assert(p > 0.0, "probabilities must be > 0");
+        fs_assert(p >= 0.0, "probabilities must be >= 0");
         total += p;
     }
+    fs_assert(total > 0.0, "probabilities must not all be zero");
     double acc = 0.0;
     for (std::size_t i = 0; i < probs.size(); ++i) {
         acc += probs[i] / total;
@@ -85,6 +87,8 @@ cumulative(const std::vector<double> &probs)
     return cum;
 }
 
+// Zero-weight entries occupy a zero-width CDF interval
+// [cum[i-1], cum[i]) and are therefore never drawn.
 std::size_t
 draw(const std::vector<double> &cum, Rng &rng)
 {
@@ -161,17 +165,18 @@ measureMissCurve(const std::string &benchmark,
                  std::uint64_t accesses, RankKind ranking,
                  std::uint64_t seed)
 {
-    std::vector<std::uint64_t> misses;
-    misses.reserve(sizes_lines.size());
-
     Workload wl = Workload::duplicate(benchmark, 1, accesses, seed);
     if (ranking == RankKind::Opt)
         wl.annotateNextUse();
 
-    for (LineId size : sizes_lines) {
+    // Each size is an independent cell: a private cache (all random
+    // state seeded from `seed`) driven by the shared read-only
+    // workload, so the parallel sweep is bit-identical to FS_JOBS=1.
+    SweepRunner runner;
+    return runner.map(sizes_lines.size(), [&](std::size_t i) {
         CacheSpec spec;
         spec.array.kind = ArrayKind::SetAssoc;
-        spec.array.numLines = size;
+        spec.array.numLines = sizes_lines[i];
         spec.array.ways = 16;
         spec.array.hash = HashKind::XorFold;
         spec.ranking = ranking;
@@ -179,11 +184,10 @@ measureMissCurve(const std::string &benchmark,
         spec.numParts = 1;
         spec.seed = seed;
         auto cache = buildCache(spec);
-        cache->setTarget(0, size);
+        cache->setTarget(0, sizes_lines[i]);
         runUntimed(*cache, wl, 0.2);
-        misses.push_back(cache->stats(0).misses);
-    }
-    return misses;
+        return cache->stats(0).misses;
+    });
 }
 
 } // namespace fscache

@@ -56,7 +56,8 @@ void runUntimed(PartitionedCache &cache, const Workload &workload,
  *
  * @param cache target (numPartitions >= sources.size())
  * @param sources one infinite generator per partition
- * @param insertion_probs per-partition insertion fractions (sum ~1)
+ * @param insertion_probs per-partition insertion fractions (sum ~1;
+ *        individual entries may be 0 to model an idle partition)
  * @param total_insertions misses to simulate after warmup
  * @param warmup_insertions misses before stats reset
  * @param seed partition-draw stream seed
@@ -80,7 +81,9 @@ void driveByInsertionRate(PartitionedCache &cache,
 /**
  * Misses of one benchmark alone in caches of the given sizes
  * (16-way XOR-indexed set-associative, unpartitioned, given
- * ranking). Used to build UCP miss curves and size sweeps.
+ * ranking). Used to build UCP miss curves and size sweeps. The
+ * sizes run as parallel SweepRunner cells (see FS_JOBS); results
+ * are independent of the job count.
  */
 std::vector<std::uint64_t>
 measureMissCurve(const std::string &benchmark,

@@ -72,8 +72,15 @@ JsonWriter::escape(const std::string &s)
             out += "\\t";
             break;
           default:
+            // Control characters have no raw representation in
+            // JSON strings; emit \u00XX. The unsigned-char cast
+            // keeps high-bit (UTF-8 continuation) bytes out of the
+            // < 0x20 branch on signed-char platforms.
             if (static_cast<unsigned char>(c) < 0x20)
-                out += strprintf("\\u%04x", c);
+                out += strprintf(
+                    "\\u%04x",
+                    static_cast<unsigned>(
+                        static_cast<unsigned char>(c)));
             else
                 out += c;
         }

@@ -111,6 +111,37 @@ TEST(DriveByInsertionRate, FractionsEnforced)
     EXPECT_NEAR(frac0, 0.3, 0.02);
 }
 
+TEST(DriveByInsertionRate, ZeroWeightPartitionStaysIdle)
+{
+    // QoS/occupancy sweeps deliberately idle a partition with
+    // weight 0; that must not abort, and the idle partition must
+    // receive no insertions (regression: cumulative() used to
+    // assert every probability > 0).
+    CacheSpec spec;
+    spec.array.kind = ArrayKind::RandomCands;
+    spec.array.numLines = 1024;
+    spec.scheme.kind = SchemeKind::None;
+    spec.numParts = 3;
+    auto cache = buildCache(spec);
+    cache->setTargets({512, 256, 256});
+
+    std::vector<std::unique_ptr<TraceSource>> src;
+    for (std::uint32_t t = 0; t < 3; ++t)
+        src.push_back(std::make_unique<StreamGenerator>(
+            static_cast<Addr>(t) << 40, 1, 1, Rng(t + 1)));
+    std::vector<double> prefill{0.5, 0.0, 0.5};
+    driveByInsertionRate(*cache, src, {0.6, 0.0, 0.4}, 5000, 500, 5,
+                         &prefill);
+
+    EXPECT_EQ(cache->stats(1).insertions, 0u);
+    EXPECT_GT(cache->stats(0).insertions, 0u);
+    EXPECT_GT(cache->stats(2).insertions, 0u);
+    double frac0 =
+        static_cast<double>(cache->stats(0).insertions) /
+        (cache->stats(0).insertions + cache->stats(2).insertions);
+    EXPECT_NEAR(frac0, 0.6, 0.03);
+}
+
 TEST(DriveByInsertionRate, PrefillReachesTargets)
 {
     CacheSpec spec;

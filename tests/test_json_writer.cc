@@ -79,6 +79,41 @@ TEST(JsonWriter, Escaping)
     EXPECT_EQ(os.str(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
 }
 
+TEST(JsonWriter, ControlCharactersEscapedAsUnicode)
+{
+    // Control characters without a named escape must come out as
+    // \u00XX or the document is invalid JSON (regression test:
+    // bench labels can carry \r, \b, \x1f etc.).
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.field("k", std::string("a\rb\x01" "c\x1f d\x08"));
+    }
+    EXPECT_EQ(os.str(),
+              "{\"k\":\"a\\u000db\\u0001c\\u001f d\\u0008\"}");
+}
+
+TEST(JsonWriter, NoRawControlBytesSurviveEscaping)
+{
+    std::string all;
+    for (char c = 1; c < 0x20; ++c)
+        all += c;
+    std::ostringstream os;
+    {
+        JsonWriter j(os);
+        j.field(all, all);
+    }
+    std::string doc = os.str();
+    // No raw control bytes may survive escaping, in keys or values.
+    for (char c : doc)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    // Named escapes for \n and \t, \u00XX for the rest.
+    EXPECT_NE(doc.find("\\n"), std::string::npos);
+    EXPECT_NE(doc.find("\\t"), std::string::npos);
+    EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+    EXPECT_NE(doc.find("\\u001f"), std::string::npos);
+}
+
 TEST(JsonWriter, FinishClosesEverything)
 {
     std::ostringstream os;

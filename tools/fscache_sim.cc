@@ -14,16 +14,23 @@
  *
  *   # External text traces (one file per thread):
  *   fscache_sim --traces t0.trc,t1.trc --scheme fs
+ *
+ *   # Capacity sweep: each size runs as an independent cell,
+ *   # sharded across cores by SweepRunner (FS_JOBS controls the
+ *   # worker count; FS_JOBS=1 is the serial path, same output):
+ *   fscache_sim --lines 16384,32768,65536,131072 --untimed
  */
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/arg_parser.hh"
 #include "core/fscache.hh"
+#include "runner/sweep_runner.hh"
 #include "stats/json_writer.hh"
 #include "trace/file_trace.hh"
 
@@ -60,6 +67,67 @@ parseTargets(const std::string &spec, LineId manageable,
     return proportionalShare(manageable, fractions);
 }
 
+/** One finished (size) cell: the cache and optional timing model. */
+struct CellResult
+{
+    LineId lines = 0;
+    std::unique_ptr<PartitionedCache> cache;
+    std::unique_ptr<TimingSim> sim;
+};
+
+void
+reportJson(JsonWriter &json, const CellResult &cell,
+           const Workload &wl, std::uint32_t threads)
+{
+    json.beginArray("threads");
+    for (PartId p = 0; p < threads; ++p) {
+        json.beginObject();
+        json.field("benchmark", wl.thread(p).benchmark);
+        json.field("target",
+                   std::uint64_t{cell.cache->scheme().target(p)});
+        json.field("occupancy",
+                   cell.cache->deviation(p).meanOccupancy());
+        json.field("hits", cell.cache->stats(p).hits);
+        json.field("misses", cell.cache->stats(p).misses);
+        json.field("miss_ratio", cell.cache->stats(p).missRatio());
+        json.field("aef", cell.cache->assocDist(p).aef());
+        json.field("size_mad", cell.cache->deviation(p).mad());
+        if (cell.sim)
+            json.field("ipc", cell.sim->perf(p).ipc());
+        json.endObject();
+    }
+    json.endArray();
+    if (cell.sim)
+        json.field("throughput", cell.sim->throughput());
+}
+
+void
+reportTable(const CellResult &cell, const Workload &wl,
+            std::uint32_t threads)
+{
+    TablePrinter table({"thread", "benchmark", "target", "occupancy",
+                        "miss ratio", "AEF", "MAD", "IPC"});
+    for (PartId p = 0; p < threads; ++p) {
+        table.addRow(
+            {strprintf("%u", p), wl.thread(p).benchmark,
+             TablePrinter::num(
+                 std::uint64_t{cell.cache->scheme().target(p)}),
+             TablePrinter::num(
+                 cell.cache->deviation(p).meanOccupancy(), 1),
+             TablePrinter::num(cell.cache->stats(p).missRatio(), 4),
+             TablePrinter::num(cell.cache->assocDist(p).aef(), 3),
+             TablePrinter::num(cell.cache->deviation(p).mad(), 1),
+             cell.sim ? TablePrinter::num(cell.sim->perf(p).ipc(), 3)
+                      : std::string("-")});
+    }
+    table.print(std::cout);
+    if (cell.sim) {
+        std::printf("throughput (sum IPC): %.3f   avg memory "
+                    "queueing: %.1f cyc\n", cell.sim->throughput(),
+                    cell.sim->memory().avgQueueing());
+    }
+}
+
 } // namespace
 
 int
@@ -79,7 +147,10 @@ main(int argc, char **argv)
                    "rrip");
     args.addString("hash", "xorfold",
                    "index hash: modulo|xorfold|h3");
-    args.addInt("lines", 131072, "cache capacity in 64B lines");
+    args.addString("lines", "131072",
+                   "cache capacity in 64B lines; a comma-separated "
+                   "list sweeps the sizes in parallel (FS_JOBS "
+                   "workers)");
     args.addInt("ways", 16, "set-assoc ways");
     args.addInt("candidates", 16, "random-array candidates R");
     args.addString("threads", "mcf,lbm",
@@ -100,7 +171,24 @@ main(int argc, char **argv)
     if (!args.parse(argc, argv))
         return 0;
 
-    // Workload.
+    std::vector<LineId> sizes;
+    for (const std::string &s : split(args.getString("lines"), ',')) {
+        std::size_t pos = 0;
+        unsigned long long v = 0;
+        try {
+            v = std::stoull(s, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos != s.size() || v == 0)
+            fatal("--lines entry \"%s\" is not a positive line "
+                  "count", s.c_str());
+        sizes.push_back(static_cast<LineId>(v));
+    }
+    if (sizes.empty())
+        fatal("--lines needs at least one size");
+
+    // Workload (shared read-only by every sweep cell).
     Workload wl;
     std::vector<std::string> names;
     std::string traces = args.getString("traces");
@@ -129,11 +217,9 @@ main(int argc, char **argv)
     if (rank == RankKind::Opt)
         wl.annotateNextUse();
 
-    // Cache.
+    // Cache spec shared by every cell; numLines is set per cell.
     CacheSpec spec;
     spec.array.kind = parseArrayKind(args.getString("array"));
-    spec.array.numLines =
-        static_cast<LineId>(args.getInt("lines"));
     spec.array.ways =
         static_cast<std::uint32_t>(args.getInt("ways"));
     spec.array.hash = parseHashKind(args.getString("hash"));
@@ -143,84 +229,72 @@ main(int argc, char **argv)
     spec.scheme.kind = parseSchemeKind(args.getString("scheme"));
     spec.numParts = threads;
     spec.seed = static_cast<std::uint64_t>(args.getInt("seed"));
-    auto cache = buildCache(spec);
 
-    auto manageable = static_cast<LineId>(
-        spec.array.numLines * cache->scheme().managedFraction());
-    cache->setTargets(parseTargets(args.getString("targets"),
-                                   manageable, threads));
-
-    // Run.
     double warmup = args.getDouble("warmup");
-    std::unique_ptr<TimingSim> sim;
-    if (args.getFlag("untimed")) {
-        runUntimed(*cache, wl, warmup);
-    } else {
-        TimingConfig cfg;
-        cfg.warmupFraction = warmup;
-        cfg.modelNuca = args.getFlag("nuca");
-        sim = std::make_unique<TimingSim>(*cache, wl, cfg);
-        sim->run();
-    }
+    bool untimed = args.getFlag("untimed");
+    bool nuca = args.getFlag("nuca");
+    std::string targets = args.getString("targets");
 
-    // Report.
+    // Run: one cell per cache size, each with a private cache (all
+    // randomness re-seeded from --seed) driving the shared traces.
+    SweepRunner runner;
+    auto cells = runner.map(sizes.size(), [&](std::size_t i) {
+        CellResult cell;
+        cell.lines = sizes[i];
+        CacheSpec cspec = spec;
+        cspec.array.numLines = sizes[i];
+        cell.cache = buildCache(cspec);
+        auto manageable = static_cast<LineId>(
+            sizes[i] * cell.cache->scheme().managedFraction());
+        cell.cache->setTargets(
+            parseTargets(targets, manageable, threads));
+        if (untimed) {
+            runUntimed(*cell.cache, wl, warmup);
+        } else {
+            TimingConfig cfg;
+            cfg.warmupFraction = warmup;
+            cfg.modelNuca = nuca;
+            cell.sim = std::make_unique<TimingSim>(*cell.cache, wl,
+                                                   cfg);
+            cell.sim->run();
+        }
+        return cell;
+    });
+
+    // Report in size order regardless of completion order.
+    const CellResult &first = cells.front();
     if (args.getFlag("json")) {
         JsonWriter json(std::cout);
-        json.field("scheme", cache->scheme().name());
-        json.field("array", cache->array().name());
-        json.field("ranking", cache->ranking().name());
-        json.field("lines",
-                   std::uint64_t{cache->cacheLines()});
-        json.beginArray("threads");
-        for (PartId p = 0; p < threads; ++p) {
-            json.beginObject();
-            json.field("benchmark", wl.thread(p).benchmark);
-            json.field("target",
-                       std::uint64_t{cache->scheme().target(p)});
-            json.field("occupancy",
-                       cache->deviation(p).meanOccupancy());
-            json.field("hits", cache->stats(p).hits);
-            json.field("misses", cache->stats(p).misses);
-            json.field("miss_ratio", cache->stats(p).missRatio());
-            json.field("aef", cache->assocDist(p).aef());
-            json.field("size_mad", cache->deviation(p).mad());
-            if (sim)
-                json.field("ipc", sim->perf(p).ipc());
-            json.endObject();
+        json.field("scheme", first.cache->scheme().name());
+        json.field("array", first.cache->array().name());
+        json.field("ranking", first.cache->ranking().name());
+        if (cells.size() == 1) {
+            json.field("lines",
+                       std::uint64_t{first.cache->cacheLines()});
+            reportJson(json, first, wl, threads);
+        } else {
+            json.beginArray("cells");
+            for (const CellResult &cell : cells) {
+                json.beginObject();
+                json.field("lines",
+                           std::uint64_t{cell.cache->cacheLines()});
+                reportJson(json, cell, wl, threads);
+                json.endObject();
+            }
+            json.endArray();
         }
-        json.endArray();
-        if (sim)
-            json.field("throughput", sim->throughput());
         json.finish();
         std::printf("\n");
         return 0;
     }
 
-    std::printf("%s | %s | %s | %u lines, %u threads\n",
-                cache->scheme().name().c_str(),
-                cache->array().name().c_str(),
-                cache->ranking().name().c_str(),
-                cache->cacheLines(), threads);
-    TablePrinter table({"thread", "benchmark", "target", "occupancy",
-                        "miss ratio", "AEF", "MAD", "IPC"});
-    for (PartId p = 0; p < threads; ++p) {
-        table.addRow(
-            {strprintf("%u", p), wl.thread(p).benchmark,
-             TablePrinter::num(
-                 std::uint64_t{cache->scheme().target(p)}),
-             TablePrinter::num(cache->deviation(p).meanOccupancy(),
-                               1),
-             TablePrinter::num(cache->stats(p).missRatio(), 4),
-             TablePrinter::num(cache->assocDist(p).aef(), 3),
-             TablePrinter::num(cache->deviation(p).mad(), 1),
-             sim ? TablePrinter::num(sim->perf(p).ipc(), 3)
-                 : std::string("-")});
-    }
-    table.print(std::cout);
-    if (sim) {
-        std::printf("throughput (sum IPC): %.3f   avg memory "
-                    "queueing: %.1f cyc\n", sim->throughput(),
-                    sim->memory().avgQueueing());
+    for (const CellResult &cell : cells) {
+        std::printf("%s | %s | %s | %u lines, %u threads\n",
+                    cell.cache->scheme().name().c_str(),
+                    cell.cache->array().name().c_str(),
+                    cell.cache->ranking().name().c_str(),
+                    cell.cache->cacheLines(), threads);
+        reportTable(cell, wl, threads);
     }
     return 0;
 }
