@@ -35,6 +35,8 @@ chiSquareUniform(const Histogram &hist)
     double stat = 0.0;
     for (std::uint32_t b = 0; b < hist.bins(); ++b) {
         double diff = hist.binCount(b) - expected;
+        // fs-lint: float-accum(naive-sum) one non-negative term per
+        // bin, bin count is small (<= a few hundred)
         stat += diff * diff / expected;
     }
     return stat;

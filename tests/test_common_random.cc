@@ -113,6 +113,54 @@ TEST(Rng, ForkDeterministicFromParentState)
         EXPECT_EQ(c1(), c2());
 }
 
+// Golden values pin the streams across *process runs* and across
+// machines/compilers: any two builds of this test agree with each
+// other because both agree with the constants below. This is the
+// cross-process half of the determinism contract (the cross-FS_JOBS
+// half lives in test_runner_stress.cc); if an Rng change breaks
+// these on purpose, re-derive the constants and say so in the PR.
+TEST(Rng, GoldenRawStream)
+{
+    Rng rng(0xfeedfacecafebeefull);
+    EXPECT_EQ(rng(), 0x835971f2a856e435ull);
+    EXPECT_EQ(rng(), 0xec86ed5339d88e27ull);
+    EXPECT_EQ(rng(), 0xf806b9dc816f8e90ull);
+    EXPECT_EQ(rng(), 0x4839dacc9948d39aull);
+}
+
+TEST(Rng, GoldenDerivedStreams)
+{
+    Rng u(42);
+    EXPECT_EQ(u.uniform(), 0x1.5780b2e0c2ecp-4);
+    EXPECT_EQ(u.uniform(), 0x1.84136619b444ep-2);
+
+    Rng parent(7);
+    Rng child = parent.fork(3);
+    EXPECT_EQ(child(), 0xbecebdf8e8e2733eull);
+
+    EXPECT_EQ(mix64(0xdeadbeefull), 0x4adfb90f68c9eb9bull);
+    std::uint64_t s = 123;
+    EXPECT_EQ(splitMix64(s), 0xb4dc9bd462de412bull);
+
+    Rng b(99);
+    EXPECT_EQ(b.below(1000), 348u);
+    EXPECT_EQ(b.below(1000), 564u);
+    EXPECT_EQ(b.below(1000), 378u);
+}
+
+TEST(Rng, ReseedReproducesStream)
+{
+    // Same object reseeded mid-life behaves as a fresh Rng: no
+    // hidden state survives seed() — another way a "same seed" run
+    // could silently diverge from a fresh process.
+    Rng rng(5);
+    for (int i = 0; i < 17; ++i)
+        (void)rng();
+    rng.seed(0xfeedfacecafebeefull);
+    EXPECT_EQ(rng(), 0x835971f2a856e435ull);
+    EXPECT_EQ(rng(), 0xec86ed5339d88e27ull);
+}
+
 TEST(Mix64, SpreadsBits)
 {
     // Adjacent inputs must yield very different outputs.

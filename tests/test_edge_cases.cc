@@ -197,8 +197,9 @@ TEST(EdgeCases, EmptyCandidateFutilityNeverNegativeForValid)
     Rng rng(6);
     for (int i = 0; i < 3000; ++i) {
         AccessOutcome out = cache->access(0, rng.below(1000));
-        if (out.evicted)
+        if (out.evicted) {
             EXPECT_GT(out.victimFutility, 0.0);
+        }
     }
 }
 

@@ -131,6 +131,9 @@ comboName(const ::testing::TestParamInfo<Combo> &info)
       case RankKind::Random:
         name += "_rand";
         break;
+      case RankKind::Rrip:
+        name += "_rrip";
+        break;
     }
     for (char &c : name)
         if (c == '-')

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * TSan-targeted stress harness for the runner subsystem.
+ *
+ * These tests are shaped for ThreadSanitizer (the `tsan` CMake
+ * preset): many small tasks to force real interleavings through the
+ * submit/steal/waitIdle paths, exception storms, nested submission
+ * from worker threads, and FS_JOBS in {1, 2, hardware} cross-checks
+ * of the determinism contract. They also run (fast) in normal
+ * builds; under TSan they are the race detector's food supply —
+ * a single-shot happy path exercises almost none of the pool's
+ * synchronization edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/random.hh"
+#include "runner/sweep_runner.hh"
+#include "runner/thread_pool.hh"
+
+namespace fscache
+{
+namespace
+{
+
+unsigned
+hwJobs()
+{
+    // Floor at 4 so the harness exercises real concurrency even on
+    // small CI boxes where hardware_concurrency() is 1 or 2 —
+    // oversubscription is a feature here, it widens interleavings.
+    return std::max(4u, std::thread::hardware_concurrency());
+}
+
+/**
+ * Deterministic per-cell pseudo-simulation: fold a forked Rng
+ * stream. Stands in for a real cell (private cache + trace) while
+ * keeping TSan runtime low; any cross-cell interference or
+ * scheduling dependence shows up as a changed hash.
+ */
+std::uint64_t
+cellHash(std::size_t cell, int draws = 256)
+{
+    Rng rng = Rng(0xf5cac8eu).fork(cell);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < draws; ++i)
+        acc = mix64(acc ^ rng());
+    return acc;
+}
+
+TEST(ThreadPoolStress, ManySmallTasks)
+{
+    ThreadPool pool(hwJobs());
+    std::atomic<std::uint64_t> sum{0};
+    constexpr int kTasks = 4000;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&sum, i] {
+            sum.fetch_add(mix64(static_cast<std::uint64_t>(i)),
+                          std::memory_order_relaxed);
+        });
+    }
+    pool.waitIdle();
+    std::uint64_t expect = 0;
+    for (int i = 0; i < kTasks; ++i)
+        expect += mix64(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPoolStress, RepeatedSubmitWaitCycles)
+{
+    // Reuse one pool across many submit/waitIdle rounds; the
+    // pending_-reaches-zero edge and the missed-wakeup guard run
+    // once per round instead of once per test.
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 40; ++i)
+            pool.submit([&count] {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.waitIdle();
+        ASSERT_EQ(count.load(), (round + 1) * 40);
+    }
+}
+
+TEST(ThreadPoolStress, NestedSubmissionFromWorkers)
+{
+    // Tasks that submit more tasks to the same pool: the nested
+    // submit happens while the outer task still holds a pending_
+    // count, so waitIdle() must not return until the leaves run.
+    ThreadPool pool(4);
+    std::atomic<int> leaves{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&pool, &leaves] {
+            for (int j = 0; j < 8; ++j)
+                pool.submit([&leaves] {
+                    leaves.fetch_add(1, std::memory_order_relaxed);
+                });
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(leaves.load(), 64 * 8);
+}
+
+TEST(ThreadPoolStress, DeepNestedSubmissionChain)
+{
+    // A chain of tasks each spawning the next; exercises the case
+    // where pending_ would hit zero between link N finishing and
+    // link N+1 being counted if submission ordering were wrong.
+    ThreadPool pool(2);
+    std::atomic<int> depth{0};
+    std::function<void()> link = [&pool, &depth, &link] {
+        if (depth.fetch_add(1, std::memory_order_relaxed) < 100)
+            pool.submit(link);
+    };
+    pool.submit(link);
+    pool.waitIdle();
+    EXPECT_GE(depth.load(), 100);
+}
+
+TEST(ThreadPoolStress, ExceptionStorm)
+{
+    ThreadPool pool(hwJobs());
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 10; ++round) {
+        int thrown = 0;
+        for (int i = 0; i < 200; ++i) {
+            if (i % 7 == 0) {
+                ++thrown;
+                pool.submit([] {
+                    throw std::runtime_error("storm");
+                });
+            } else {
+                pool.submit([&ran] {
+                    ran.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        }
+        EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+        ASSERT_EQ(ran.load(), (round + 1) * (200 - thrown));
+    }
+    // Pool is still usable after ten storms.
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.waitIdle();
+}
+
+TEST(SweepRunnerStress, ManyCellSweepMatchesSerial)
+{
+    SweepRunner serial(1);
+    SweepRunner wide(hwJobs());
+    constexpr std::size_t kCells = 2048;
+    auto s = serial.map(kCells,
+                        [](std::size_t i) { return cellHash(i); });
+    auto p = wide.map(kCells,
+                      [](std::size_t i) { return cellHash(i); });
+    ASSERT_EQ(s.size(), p.size());
+    for (std::size_t i = 0; i < kCells; ++i)
+        ASSERT_EQ(s[i], p[i]) << "cell " << i;
+}
+
+TEST(SweepRunnerStress, CrossJobsIdentical)
+{
+    // FS_JOBS in {1, 2, hw}: the determinism contract says the
+    // result vector is bit-identical regardless of worker count.
+    const std::vector<unsigned> jobSet{1, 2, hwJobs()};
+    std::vector<std::vector<std::uint64_t>> results;
+    results.reserve(jobSet.size());
+    for (unsigned jobs : jobSet) {
+        SweepRunner runner(jobs);
+        results.push_back(runner.map(
+            512, [](std::size_t i) { return cellHash(i, 64); }));
+    }
+    for (std::size_t k = 1; k < results.size(); ++k)
+        EXPECT_EQ(results[0], results[k])
+            << "jobs=" << jobSet[k] << " diverged from serial";
+}
+
+TEST(SweepRunnerStress, CrossJobsIdenticalViaEnv)
+{
+    // Same check through the FS_JOBS environment path the tools
+    // use. setenv is safe here: no pool is alive between sweeps.
+    auto sweep = [] {
+        SweepRunner runner; // reads FS_JOBS
+        return runner.map(
+            256, [](std::size_t i) { return cellHash(i, 64); });
+    };
+    setenv("FS_JOBS", "1", 1);
+    auto serial = sweep();
+    setenv("FS_JOBS", "2", 1);
+    auto two = sweep();
+    setenv("FS_JOBS", std::to_string(hwJobs()).c_str(), 1);
+    auto hw = sweep();
+    unsetenv("FS_JOBS");
+    EXPECT_EQ(serial, two);
+    EXPECT_EQ(serial, hw);
+}
+
+TEST(SweepRunnerStress, NestedSweepInsideCells)
+{
+    // A cell that runs its own inner sweep (its own pool); mirrors
+    // a bench sharding workloads that each shard sizes internally.
+    auto nested = [](unsigned outerJobs, unsigned innerJobs) {
+        SweepRunner outer(outerJobs);
+        return outer.map(8, [innerJobs](std::size_t o) {
+            SweepRunner inner(innerJobs);
+            auto leaf = inner.map(16, [o](std::size_t c) {
+                return cellHash(o * 16 + c, 32);
+            });
+            std::uint64_t acc = 0;
+            for (std::uint64_t v : leaf)
+                acc = mix64(acc ^ v);
+            return acc;
+        });
+    };
+    auto serial = nested(1, 1);
+    auto par = nested(2, 2);
+    auto mixed = nested(hwJobs(), 1);
+    EXPECT_EQ(serial, par);
+    EXPECT_EQ(serial, mixed);
+}
+
+TEST(SweepRunnerStress, ThrowingCellsUnderLoad)
+{
+    SweepRunner runner(hwJobs());
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_THROW(
+            runner.map(256,
+                       [](std::size_t i) {
+                           if (i % 31 == 5)
+                               throw std::runtime_error("cell");
+                           return cellHash(i, 16);
+                       }),
+            std::runtime_error);
+    }
+    // Runner unharmed: a clean sweep still matches serial.
+    auto after = runner.map(
+        64, [](std::size_t i) { return cellHash(i, 16); });
+    SweepRunner serial(1);
+    EXPECT_EQ(after, serial.map(64, [](std::size_t i) {
+        return cellHash(i, 16);
+    }));
+}
+
+TEST(SweepRunnerStress, ForEachWritesVisibleAfterReturn)
+{
+    // waitIdle() must publish every cell's writes to the caller
+    // (happens-before edge); under TSan a missing edge is a report,
+    // in normal builds a lost write fails the check.
+    constexpr std::size_t kCells = 1024;
+    std::vector<std::uint64_t> slots(kCells, 0);
+    SweepRunner runner(hwJobs());
+    runner.forEach(kCells, [&slots](std::size_t i) {
+        slots[i] = cellHash(i, 16);
+    });
+    for (std::size_t i = 0; i < kCells; ++i)
+        ASSERT_EQ(slots[i], cellHash(i, 16)) << "cell " << i;
+}
+
+TEST(RngDeterminism, StreamsInvariantAcrossFsJobs)
+{
+    // The property the determinism lint protects: every random
+    // stream is a pure function of (seed, cell), so the worker
+    // count cannot perturb it. Each cell folds a long forked
+    // stream; any cross-thread state in Rng would diverge here.
+    const std::vector<unsigned> jobSet{1, 2, hwJobs()};
+    std::vector<std::vector<std::uint64_t>> streams;
+    streams.reserve(jobSet.size());
+    for (unsigned jobs : jobSet) {
+        SweepRunner runner(jobs);
+        streams.push_back(runner.map(128, [](std::size_t cell) {
+            Rng rng(1000 + cell);
+            std::uint64_t acc = 0;
+            for (int i = 0; i < 512; ++i)
+                acc = mix64(acc ^ rng());
+            return acc;
+        }));
+    }
+    for (std::size_t k = 1; k < streams.size(); ++k)
+        EXPECT_EQ(streams[0], streams[k]);
+}
+
+} // namespace
+} // namespace fscache

@@ -1,0 +1,378 @@
+#!/usr/bin/env python3
+"""Project-specific determinism lint for fscache.
+
+Enforces rules no off-the-shelf checker knows, all in service of one
+property: simulation output must be a pure function of configuration
+and seeds (the SweepRunner contract — FS_JOBS=k output bit-identical
+to FS_JOBS=1, and any two runs of the same binary identical).
+
+Rules
+-----
+raw-random
+    src/sim, src/partition, src/ranking, src/cache must not construct
+    their own randomness (std::rand, srand, random_device, mt19937,
+    drand48, ...). All randomness flows through src/common's seeded
+    fscache::Rng so a cell's streams are derived from its seed.
+
+wall-clock
+    Same scope: no reads of real time (time(), clock_gettime,
+    std::chrono::*_clock::now, gettimeofday). Wall-clock values leak
+    nondeterminism into results and break run-to-run identity.
+    (Benchmark timing lives in bench/, outside the scope.)
+
+unordered-aggregation
+    src/stats and src/sim are result-aggregation paths: tables, JSON
+    and metrics built there must not depend on hash-container
+    iteration order, so unordered_map/unordered_set are banned there
+    outright (use std::map, sorted vectors, or index-keyed vectors).
+
+float-accum
+    Accumulating into a float/double in src/stats without a named
+    policy hides a numerical-stability decision. Any `x += ...` where
+    x is float/double must carry a policy annotation (see below).
+
+Suppressions / policies
+-----------------------
+A finding is suppressed by a directive comment on the same line or
+the line directly above it:
+
+    // fs-lint: allow(<rule>) <justification — required>
+    // fs-lint: float-accum(<policy-name>) <optional notes>
+
+Examples:
+
+    sum_ += x;  // fs-lint: float-accum(naive-sum) bounded count, see DESIGN.md
+    // fs-lint: allow(wall-clock) progress meter only, never in results
+    auto t0 = Clock::now();
+
+An allow() with no justification text is itself an error: the whole
+point is leaving a paper trail for the next reader.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# ---------------------------------------------------------------- rules
+
+RAW_RANDOM_PATTERNS = [
+    (re.compile(r"\bstd::rand\b|(?<![\w:])s?rand\s*\("), "std::rand/srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\b[dlm]rand48\b|\brandom\s*\(\s*\)"), "libc rand48/random"),
+]
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bstd::time\b|(?<![\w:_.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time()"),
+    (re.compile(r"\b(?:system|steady|high_resolution)_clock\b"),
+     "std::chrono clock"),
+    (re.compile(r"\bgettimeofday\b|\bclock_gettime\b|\btimespec_get\b"),
+     "POSIX clock read"),
+    (re.compile(r"(?<![\w:_.])clock\s*\(\s*\)"), "clock()"),
+]
+
+UNORDERED_PATTERN = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+# Scopes are path prefixes relative to the scanned root.
+RANDOM_SCOPE = ("src/sim", "src/partition", "src/ranking", "src/cache")
+AGGREGATION_SCOPE = ("src/stats", "src/sim")
+ACCUM_SCOPE = ("src/stats",)
+
+ALL_RULES = ("raw-random", "wall-clock", "unordered-aggregation",
+             "float-accum")
+
+DIRECTIVE_RE = re.compile(
+    r"//\s*fs-lint:\s*(allow|float-accum)\(([\w-]+)\)\s*(.*)")
+
+# `double name` / `float &name` followed by something that is not an
+# opening paren (which would make `name` a function). Heuristic: does
+# not see through typedefs or containers-of-double; the goal is the
+# common accumulator shapes (members, locals, params).
+FLOAT_DECL_RE = re.compile(
+    r"\b(?:double|float)\s+[&*]?\s*([A-Za-z_]\w*)\s*[;=,){\[]")
+
+COMPOUND_ADD_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:\+|-)=(?!=)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, msg: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def strip_code_noise(line: str) -> str:
+    """Remove string/char literals and // comments from one line.
+
+    Good enough for lint purposes; multi-line comments are handled by
+    the caller. Keeps column structure irrelevant — we only report
+    line numbers.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append('""' if quote == '"' else "''")
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def parse_directives(lines: list[str]):
+    """Map line number -> (kind, rule-or-policy, justification)."""
+    directives = {}
+    for no, raw in enumerate(lines, 1):
+        m = DIRECTIVE_RE.search(raw)
+        if m:
+            directives[no] = (m.group(1), m.group(2), m.group(3).strip())
+    return directives
+
+
+def directive_for(directives, comment_only, lineno: int):
+    """Find the directive governing `lineno`.
+
+    A directive applies to its own line, or — so justifications can
+    span several comment lines — to the first code line below the
+    contiguous comment block it sits in.
+    """
+    if lineno in directives:
+        return directives[lineno]
+    no = lineno - 1
+    while no >= 1 and no in comment_only:
+        if no in directives:
+            return directives[no]
+        no -= 1
+    return None
+
+
+def in_scope(rel: str, scope) -> bool:
+    return any(rel == p or rel.startswith(p + "/") for p in scope)
+
+
+def code_lines(text: str):
+    """Yield (lineno, code) with comments and literals stripped."""
+    in_block = False
+    for no, raw in enumerate(text.splitlines(), 1):
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # Drop /* ... */ spans, tracking an unclosed one.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " + line[end + 2:]
+        yield no, strip_code_noise(line)
+
+
+def float_names(paths) -> set:
+    """Names declared float/double across a .cc and its sibling .hh."""
+    names = set()
+    for p in paths:
+        try:
+            text = p.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        for _, code in code_lines(text):
+            for m in FLOAT_DECL_RE.finditer(code):
+                names.add(m.group(1))
+    return names
+
+
+def check_file(root: Path, path: Path, findings: list):
+    rel = path.relative_to(root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        findings.append(Finding(rel, 0, "io", f"unreadable: {e}"))
+        return
+
+    raw_lines = text.splitlines()
+    directives = parse_directives(raw_lines)
+    comment_only = {no for no, raw in enumerate(raw_lines, 1)
+                    if raw.lstrip().startswith("//")}
+
+    def report(no: int, rule: str, msg: str):
+        d = directive_for(directives, comment_only, no)
+        if d is not None:
+            kind, arg, just = d
+            if kind == "allow" and arg == rule:
+                if not just:
+                    findings.append(Finding(
+                        rel, no, rule,
+                        "allow() directive needs a justification"))
+                return
+            if kind == "float-accum" and rule == "float-accum":
+                return  # named policy, any name counts
+        findings.append(Finding(rel, no, rule, msg))
+
+    scoped_random = in_scope(rel, RANDOM_SCOPE)
+    scoped_agg = in_scope(rel, AGGREGATION_SCOPE)
+    scoped_accum = in_scope(rel, ACCUM_SCOPE)
+
+    accum_names = set()
+    if scoped_accum:
+        sibling = []
+        if path.suffix == ".cc":
+            hh = path.with_suffix(".hh")
+            if hh.exists():
+                sibling = [hh]
+        accum_names = float_names([path] + sibling)
+
+    for no, code in code_lines(text):
+        if code.lstrip().startswith("#"):
+            continue  # includes/defines aren't uses
+        if scoped_random:
+            for pat, what in RAW_RANDOM_PATTERNS:
+                if pat.search(code):
+                    report(no, "raw-random",
+                           f"{what}: randomness outside src/common's "
+                           "seeded Rng breaks reproducibility")
+            for pat, what in WALL_CLOCK_PATTERNS:
+                if pat.search(code):
+                    report(no, "wall-clock",
+                           f"{what}: wall-clock read in simulation "
+                           "code breaks run-to-run determinism")
+        if scoped_agg and UNORDERED_PATTERN.search(code):
+            report(no, "unordered-aggregation",
+                   "hash-container in a result-aggregation path; "
+                   "iteration order is unspecified — use std::map, "
+                   "a sorted vector, or an index-keyed vector")
+        if scoped_accum:
+            for m in COMPOUND_ADD_RE.finditer(code):
+                if m.group(1) in accum_names:
+                    report(no, "float-accum",
+                           f"accumulation into float/double "
+                           f"'{m.group(1)}' without a named policy; "
+                           "annotate with // fs-lint: "
+                           "float-accum(<policy>)")
+
+
+def scan(root: Path, files=None) -> list:
+    findings: list = []
+    if files is None:
+        files = sorted(p for p in (root / "src").rglob("*")
+                       if p.suffix in (".cc", ".hh"))
+    for f in files:
+        check_file(root, f, findings)
+    return findings
+
+
+# ------------------------------------------------------------ self-test
+
+def self_test(repo_root: Path) -> int:
+    """Run the linter against the bundled bad-snippet fixtures.
+
+    The fixture tree mirrors a repo root (src/sim, src/stats, ...) so
+    the path-scoped rules fire exactly as they would on real code.
+    Expected findings are asserted precisely: a rule that stops
+    firing on its fixture means the lint has silently rotted.
+    """
+    fixture_root = repo_root / "tools" / "lint_fixtures"
+    if not fixture_root.is_dir():
+        print(f"self-test: fixture dir missing: {fixture_root}",
+              file=sys.stderr)
+        return 2
+    findings = scan(fixture_root)
+    got = {(f.path, f.line, f.rule) for f in findings}
+    expected = {
+        ("src/sim/bad_clock.cc", 9, "wall-clock"),
+        ("src/sim/bad_clock.cc", 12, "wall-clock"),
+        ("src/sim/bad_clock.cc", 18, "wall-clock"),
+        ("src/ranking/bad_random.cc", 8, "raw-random"),
+        ("src/ranking/bad_random.cc", 12, "raw-random"),
+        ("src/ranking/bad_random.cc", 15, "raw-random"),
+        ("src/stats/bad_accum.cc", 15, "float-accum"),
+        ("src/stats/bad_accum.cc", 23, "unordered-aggregation"),
+        ("src/stats/bad_accum.cc", 32, "float-accum"),
+    }
+    ok = True
+    for miss in sorted(expected - got):
+        print(f"self-test: expected finding not produced: {miss}",
+              file=sys.stderr)
+        ok = False
+    for extra in sorted(got - expected):
+        print(f"self-test: unexpected finding: {extra}", file=sys.stderr)
+        ok = False
+    if not ok:
+        return 2
+    print(f"self-test: ok ({len(expected)} expected findings, "
+          "suppressed lines stayed quiet)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="fscache determinism lint (see module docstring)")
+    ap.add_argument("paths", nargs="*", type=Path,
+                    help="files to lint (default: all of src/)")
+    ap.add_argument("--root", type=Path, default=None,
+                    help="repo root (default: this script's repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the bundled bad-snippet fixtures and "
+                         "verify the expected findings fire")
+    args = ap.parse_args(argv)
+
+    repo_root = (args.root or Path(__file__).resolve().parent.parent)
+    repo_root = repo_root.resolve()
+
+    if args.self_test:
+        return self_test(repo_root)
+
+    files = None
+    if args.paths:
+        files = []
+        for p in args.paths:
+            p = p.resolve()
+            if p.is_dir():
+                files.extend(sorted(
+                    q for q in p.rglob("*") if q.suffix in (".cc", ".hh")))
+            else:
+                files.append(p)
+    findings = scan(repo_root, files)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"fscache_lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

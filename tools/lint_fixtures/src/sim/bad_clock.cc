@@ -1,0 +1,24 @@
+// Fixture: wall-clock reads in simulation code. Line numbers of the
+// deliberate violations are pinned by fscache_lint.py --self-test.
+#include <chrono>
+#include <ctime>
+
+namespace fixture
+{
+
+long bad1() { return std::time(nullptr); }
+
+double bad2() {
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return 0.0;
+}
+
+long bad3() {
+    return time(0);
+}
+
+// fs-lint: allow(wall-clock) fixture: progress meter only, never in results
+long allowed() { return std::time(nullptr); }
+
+} // namespace fixture

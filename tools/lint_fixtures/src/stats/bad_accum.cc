@@ -1,0 +1,36 @@
+// Fixture: unpoliced float accumulation and hash containers in
+// result-aggregation code. Violation line numbers are pinned by
+// fscache_lint.py --self-test.
+#include <unordered_map>
+
+namespace fixture
+{
+
+class BadStats
+{
+  public:
+    void
+    add(double x)
+    {
+        sum_ += x;
+    }
+
+    void
+    addPoliced(double x)
+    {
+        policed_ += x;  // fs-lint: float-accum(naive-sum) fixture demo
+    }
+    std::unordered_map<int, int> byId_;
+
+  private:
+    double sum_ = 0.0;
+    double policed_ = 0.0;
+};
+
+double accumulate(double acc, double v)
+{
+    acc += v;
+    return acc;
+}
+
+} // namespace fixture
