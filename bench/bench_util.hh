@@ -16,8 +16,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/fscache.hh"
+#include "runner/cell_guard.hh"
 
 namespace fscache
 {
@@ -65,6 +67,39 @@ inline void
 section(const std::string &title)
 {
     std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/**
+ * Explicit table/JSON marker for a quarantined sweep cell, e.g.
+ * "FAILED(timeout)". Built from the error class only — reasons can
+ * contain wall-clock-dependent text, and artifacts must stay
+ * deterministic.
+ */
+template <typename R>
+std::string
+failedMarker(const CellOutcome<R> &o)
+{
+    return std::string("FAILED(") + errorClassName(o.errorClass) +
+           ")";
+}
+
+/**
+ * Print the quarantine manifest of a resilient sweep to stderr and
+ * return true when any cell failed. Prints nothing on a clean sweep
+ * so fault-free output stays byte-identical to the pre-guard
+ * drivers. The manifest excludes wall times — it is deterministic
+ * for deterministic faults.
+ */
+template <typename R>
+bool
+reportQuarantined(const SweepReport<R> &report, const char *sweep)
+{
+    std::vector<ManifestEntry> f = report.failures();
+    if (f.empty())
+        return false;
+    std::fprintf(stderr, "[%s] %s", sweep,
+                 renderManifest(f).c_str());
+    return true;
 }
 
 } // namespace bench

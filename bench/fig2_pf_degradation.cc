@@ -98,18 +98,54 @@ main()
     // Every (benchmark x N x array) run is one independent sweep
     // cell with hard-coded seeds, so the sharded runs below produce
     // exactly the serial values; rows 0..7 are the set-assoc runs
-    // of `benches` and row 8 is mcf on the ideal array.
+    // of `benches` and row 8 is mcf on the ideal array. The sweep
+    // is resilient (failing cells render as FAILED(class)) and
+    // checkpointed: with FS_CHECKPOINT_DIR set, a killed run
+    // resumes from the completed cells with byte-identical output.
+    const std::size_t rows = benches.size() + 1;
+    const std::size_t cols = kPartCounts.size();
     SweepRunner runner;
-    auto grid = runner.mapGrid(
-        benches.size() + 1, kPartCounts.size(),
-        [&](std::size_t row, std::size_t col) {
+    auto report = runner.mapResilientCheckpointed(
+        rows * cols,
+        [&](std::size_t i) {
+            std::size_t row = i / cols, col = i % cols;
             if (row == benches.size())
                 return run("mcf", kPartCounts[col], accesses,
                            ArrayKind::RandomCands);
             return run(benches[row], kPartCounts[col], accesses);
+        },
+        "fig2",
+        strprintf("fig2;accesses=%llu;benches=%zu;seed=7",
+                  static_cast<unsigned long long>(accesses),
+                  benches.size()),
+        [](const RunResult &r) {
+            CellEncoder e;
+            e.f64(r.aef).u64(r.misses).f64(r.ipc).u64(r.cdf.size());
+            for (double v : r.cdf)
+                e.f64(v);
+            return e.result();
+        },
+        [](const std::string &payload) {
+            CellDecoder d(payload);
+            RunResult r;
+            r.aef = d.f64();
+            r.misses = d.u64();
+            r.ipc = d.f64();
+            r.cdf.resize(d.u64());
+            for (double &v : r.cdf)
+                v = d.f64();
+            return r;
         });
-    const std::vector<RunResult> &mcf_results = grid[0];
-    const std::vector<RunResult> &mcf_ideal = grid[benches.size()];
+    bench::reportQuarantined(report, "fig2");
+    if (report.okCount() == 0) {
+        std::fprintf(stderr, "[fig2] every cell failed; no results "
+                             "to report\n");
+        return 1;
+    }
+    auto cellAt = [&](std::size_t row, std::size_t col)
+        -> const CellOutcome<RunResult> & {
+        return report.cells[row * cols + col];
+    };
 
     bench::section("(a) mcf: associativity of the 1st partition");
     // Two arrays: the paper's 16-way set-assoc L2, and the ideal
@@ -121,14 +157,21 @@ main()
                             "SA CDF@0.4", "SA CDF@0.6",
                             "SA CDF@0.8"});
     for (std::size_t i = 0; i < kPartCounts.size(); ++i) {
-        const RunResult &r = mcf_results[i];
+        const CellOutcome<RunResult> &sa = cellAt(0, i);
+        const CellOutcome<RunResult> &ideal =
+            cellAt(benches.size(), i);
+        std::string sa_mark = bench::failedMarker(sa);
         aef_table.addRow(
             {TablePrinter::num(std::uint64_t{kPartCounts[i]}),
-             TablePrinter::num(r.aef, 3),
-             TablePrinter::num(mcf_ideal[i].aef, 3),
-             TablePrinter::num(r.cdf[3], 3),
-             TablePrinter::num(r.cdf[5], 3),
-             TablePrinter::num(r.cdf[7], 3)});
+             sa.ok() ? TablePrinter::num(sa.value->aef, 3) : sa_mark,
+             ideal.ok() ? TablePrinter::num(ideal.value->aef, 3)
+                        : bench::failedMarker(ideal),
+             sa.ok() ? TablePrinter::num(sa.value->cdf[3], 3)
+                     : sa_mark,
+             sa.ok() ? TablePrinter::num(sa.value->cdf[5], 3)
+                     : sa_mark,
+             sa.ok() ? TablePrinter::num(sa.value->cdf[7], 3)
+                     : sa_mark});
     }
     aef_table.print(std::cout);
     std::printf("(worst case is the diagonal CDF: AEF = 0.5; paper "
@@ -142,14 +185,22 @@ main()
     for (std::size_t b = 0; b < benches.size(); ++b) {
         std::vector<std::string> miss_row{benches[b]};
         std::vector<std::string> ipc_row{benches[b]};
-        double base_misses = 0.0;
-        double base_ipc = 0.0;
+        const CellOutcome<RunResult> &base = cellAt(b, 0);
+        double base_misses =
+            base.ok() ? static_cast<double>(base.value->misses) : 0.0;
+        double base_ipc = base.ok() ? base.value->ipc : 0.0;
         for (std::size_t i = 0; i < kPartCounts.size(); ++i) {
-            const RunResult &r = grid[b][i];
-            if (i == 0) {
-                base_misses = static_cast<double>(r.misses);
-                base_ipc = r.ipc;
+            const CellOutcome<RunResult> &c = cellAt(b, i);
+            if (!c.ok() || !base.ok()) {
+                // A failed cell (or a failed N = 1 baseline) has no
+                // normalized value; mark it explicitly.
+                std::string mark =
+                    bench::failedMarker(c.ok() ? base : c);
+                miss_row.push_back(mark);
+                ipc_row.push_back(mark);
+                continue;
             }
+            const RunResult &r = *c.value;
             miss_row.push_back(TablePrinter::num(
                 base_misses > 0 ? r.misses / base_misses : 0.0, 3));
             ipc_row.push_back(TablePrinter::num(

@@ -49,7 +49,16 @@ main()
                                                    {0.25, 0.20},
                                                    {0.25, 0.30},
                                                    {0.25, 0.40}};
-        auto alphas = analytic::solveScalingFactors(parts, kR);
+        // Divergence is recoverable: fall back to the best-effort
+        // alphas the solver saw instead of aborting the figure.
+        std::vector<double> alphas;
+        try {
+            alphas = analytic::solveScalingFactors(parts, kR);
+        } catch (const analytic::SolverDivergenceError &e) {
+            std::printf("note: %s; reporting best-effort factors\n",
+                        e.what());
+            alphas = e.bestAlphas;
+        }
         auto shares = analytic::evictionShares(parts, alphas, kR);
         TablePrinter multi({"partition", "S", "I", "alpha",
                             "E (check)", "analytic AEF"});

@@ -93,33 +93,65 @@ main()
         cfg.changingRatio = ratio;
         cells.push_back(cfg);
     }
+    // Resilient + checkpointed: a failing parameter point renders
+    // as FAILED(class) instead of killing the study, and with
+    // FS_CHECKPOINT_DIR set a killed run resumes byte-identically.
     SweepRunner runner;
-    auto results = runner.map(cells.size(), [&](std::size_t i) {
-        return run(cells[i], accesses);
-    });
+    auto report = runner.mapResilientCheckpointed(
+        cells.size(),
+        [&](std::size_t i) { return run(cells[i], accesses); },
+        "fig9",
+        strprintf("fig9;accesses=%llu;lengths=%zu;ratios=%zu;"
+                  "seed=31",
+                  static_cast<unsigned long long>(accesses),
+                  lengths.size(), ratios.size()),
+        [](const SensResult &r) {
+            CellEncoder e;
+            e.f64(r.occErr).f64(r.mad).f64(r.aef);
+            return e.result();
+        },
+        [](const std::string &payload) {
+            CellDecoder d(payload);
+            SensResult r;
+            r.occErr = d.f64();
+            r.mad = d.f64();
+            r.aef = d.f64();
+            return r;
+        });
+    bench::reportQuarantined(report, "fig9");
+    if (report.okCount() == 0) {
+        std::fprintf(stderr, "[fig9] every cell failed; no results "
+                             "to report\n");
+        return 1;
+    }
+    auto addRow = [&](TablePrinter &table, std::string label,
+                      const CellOutcome<SensResult> &c) {
+        if (!c.ok()) {
+            std::string mark = bench::failedMarker(c);
+            table.addRow({std::move(label), mark, mark, mark});
+            return;
+        }
+        table.addRow({std::move(label),
+                      TablePrinter::num(c.value->occErr, 4),
+                      TablePrinter::num(c.value->mad, 1),
+                      TablePrinter::num(c.value->aef, 3)});
+    };
 
     bench::section("interval length l (changing ratio = 2)");
     TablePrinter l_table({"l", "occupancy err", "size MAD (lines)",
                           "subject AEF"});
-    for (std::size_t i = 0; i < lengths.size(); ++i) {
-        const SensResult &r = results[i];
-        l_table.addRow({TablePrinter::num(std::uint64_t{lengths[i]}),
-                        TablePrinter::num(r.occErr, 4),
-                        TablePrinter::num(r.mad, 1),
-                        TablePrinter::num(r.aef, 3)});
-    }
+    for (std::size_t i = 0; i < lengths.size(); ++i)
+        addRow(l_table,
+               TablePrinter::num(std::uint64_t{lengths[i]}),
+               report.cells[i]);
     l_table.print(std::cout);
 
     bench::section("changing ratio (l = 16)");
     TablePrinter a_table({"ratio", "occupancy err",
                           "size MAD (lines)", "subject AEF"});
-    for (std::size_t i = 0; i < ratios.size(); ++i) {
-        const SensResult &r = results[lengths.size() + i];
-        a_table.addRow({TablePrinter::num(ratios[i], 3),
-                        TablePrinter::num(r.occErr, 4),
-                        TablePrinter::num(r.mad, 1),
-                        TablePrinter::num(r.aef, 3)});
-    }
+    for (std::size_t i = 0; i < ratios.size(); ++i)
+        addRow(a_table, TablePrinter::num(ratios[i], 3),
+               report.cells[lengths.size() + i]);
     a_table.print(std::cout);
 
     std::printf("\nThe paper's defaults (l = 16, ratio = 2, i.e. "

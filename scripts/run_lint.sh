@@ -1,7 +1,9 @@
 #!/bin/sh
 # Run the fscache lint layer:
 #   1. fscache_lint.py --self-test   (the lint's own fixtures)
-#   2. fscache_lint.py               (determinism rules over src/)
+#   2. fscache_lint.py               (determinism rules over src/,
+#                                     CLI-parsing rules over tools/
+#                                     and bench/)
 #   3. clang-tidy over src/*.cc      (if clang-tidy is installed)
 #
 # clang-tidy needs a compile database; pass the build dir as $1
@@ -17,7 +19,7 @@ build_dir="${1:-}"
 echo "== fscache_lint: self-test =="
 python3 "$repo_root/tools/fscache_lint.py" --self-test
 
-echo "== fscache_lint: src/ =="
+echo "== fscache_lint: src/ tools/ bench/ =="
 python3 "$repo_root/tools/fscache_lint.py"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then

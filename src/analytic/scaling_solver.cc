@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/log.hh"
 
@@ -76,8 +77,9 @@ scalingFactorTwoPart(double s1, double i1, std::uint32_t candidates)
     fs_assert(s1 > 0.0 && s1 < 1.0, "s1 must be in (0,1)");
     fs_assert(i1 > 0.0 && i1 < 1.0, "i1 must be in (0,1)");
     if (!feasible(s1, i1, candidates)) {
-        fatal("infeasible partitioning: I1=%g <= S1^R=%g", i1,
-              std::pow(s1, static_cast<double>(candidates)));
+        throw InfeasiblePartitioningError(strprintf(
+            "infeasible partitioning: I1=%g <= S1^R=%g", i1,
+            std::pow(s1, static_cast<double>(candidates))));
     }
     double root = std::pow(i1 / s1, 1.0 / (candidates - 1));
     double s2 = 1.0 - s1;
@@ -101,26 +103,31 @@ evictionShares(const std::vector<PartitionSpec> &parts,
 
 std::vector<double>
 solveScalingFactors(const std::vector<PartitionSpec> &parts,
-                    std::uint32_t candidates, double tol)
+                    std::uint32_t candidates, double tol,
+                    int max_iters)
 {
     fs_assert(parts.size() >= 2, "need at least two partitions");
+    fs_assert(max_iters >= 1, "need at least one iteration");
     for (const auto &p : parts) {
         fs_assert(p.size > 0.0 && p.insertion > 0.0,
                   "partition fractions must be positive");
         if (!feasible(p.size, p.insertion, candidates)) {
-            fatal("infeasible partition: I=%g <= S^R=%g", p.insertion,
-                  std::pow(p.size,
-                           static_cast<double>(candidates)));
+            throw InfeasiblePartitioningError(strprintf(
+                "infeasible partition: I=%g <= S^R=%g", p.insertion,
+                std::pow(p.size,
+                         static_cast<double>(candidates))));
         }
     }
 
     std::vector<double> alphas(parts.size(), 1.0);
-    constexpr int kMaxIters = 20000;
     // Eviction shares respond like alpha^(R-1), so damp the
     // multiplicative update accordingly or it oscillates wildly.
     const double gamma = 0.5 / (candidates - 1);
 
-    for (int iter = 0; iter < kMaxIters; ++iter) {
+    std::vector<double> best_alphas = alphas;
+    double best_err = std::numeric_limits<double>::infinity();
+
+    for (int iter = 0; iter < max_iters; ++iter) {
         std::vector<double> shares =
             evictionShares(parts, alphas, candidates);
 
@@ -130,6 +137,10 @@ solveScalingFactors(const std::vector<PartitionSpec> &parts,
                            std::fabs(shares[i] - parts[i].insertion));
         if (err < tol)
             return alphas;
+        if (err < best_err) {
+            best_err = err;
+            best_alphas = alphas;
+        }
 
         // A larger alpha_i raises E_i; push each alpha toward the
         // ratio that would balance its own equation, damped and
@@ -144,7 +155,24 @@ solveScalingFactors(const std::vector<PartitionSpec> &parts,
         for (double &a : alphas)
             a /= lo;
     }
-    fatal("scaling-factor solver failed to converge");
+    throw SolverDivergenceError(
+        strprintf("scaling-factor solver failed to converge in %d "
+                  "iterations (best residual %g, tol %g)",
+                  max_iters, best_err, tol),
+        max_iters, best_err, std::move(best_alphas));
+}
+
+std::vector<double>
+solveScalingFactorsClamped(const std::vector<PartitionSpec> &parts,
+                           std::uint32_t candidates, double tol,
+                           int max_iters)
+{
+    try {
+        return solveScalingFactors(parts, candidates, tol, max_iters);
+    } catch (const SolverDivergenceError &e) {
+        warn("%s; using best-effort scaling factors", e.what());
+        return e.bestAlphas;
+    }
 }
 
 } // namespace analytic

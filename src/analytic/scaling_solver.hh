@@ -30,6 +30,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/errors.hh"
+
 namespace fscache
 {
 namespace analytic
@@ -40,6 +42,42 @@ struct PartitionSpec
 {
     double size = 0.0;      ///< S_i, sums to 1 across partitions
     double insertion = 0.0; ///< I_i, sums to 1 across partitions
+};
+
+/**
+ * The requested partitioning violates the I_i > S_i^R bound; no
+ * replacement-based scheme can hold it (recoverable — a sweep cell
+ * exploring the configuration space is expected to hit this).
+ */
+class InfeasiblePartitioningError : public FsError
+{
+  public:
+    explicit InfeasiblePartitioningError(const std::string &what)
+        : FsError(what)
+    {
+    }
+};
+
+/**
+ * The fixed-point iteration ran out of iterations. Carries the
+ * best alphas seen so callers can degrade gracefully
+ * (solveScalingFactorsClamped, FutilityScalingFeedback::seedFactors)
+ * instead of dying.
+ */
+class SolverDivergenceError : public FsError
+{
+  public:
+    SolverDivergenceError(const std::string &what, int iterations,
+                          double residual,
+                          std::vector<double> best_alphas)
+        : FsError(what), iterations(iterations), residual(residual),
+          bestAlphas(std::move(best_alphas))
+    {
+    }
+
+    int iterations;                ///< iterations executed
+    double residual;               ///< max |E_i - I_i| at the best point
+    std::vector<double> bestAlphas; ///< lowest-residual alphas seen
 };
 
 /**
@@ -55,7 +93,8 @@ bool feasible(double size_frac, double insertion_frac,
  * @param s1 size fraction of the unscaled partition (alpha_1 = 1)
  * @param i1 insertion fraction of the unscaled partition
  * @param candidates R
- * @return alpha_2 (> 0); fatal if the partitioning is infeasible
+ * @return alpha_2 (> 0)
+ * @throws InfeasiblePartitioningError when I1 <= S1^R
  */
 double scalingFactorTwoPart(double s1, double i1,
                             std::uint32_t candidates);
@@ -71,16 +110,32 @@ evictionShares(const std::vector<PartitionSpec> &parts,
 
 /**
  * Solve E_i(alpha) = I_i for all partitions; the returned vector is
- * normalized so min(alpha) == 1. Fatal if any partition violates
- * the feasibility bound.
+ * normalized so min(alpha) == 1.
  *
  * @param parts size/insertion fractions (each sums to ~1)
  * @param candidates R
  * @param tol max |E_i - I_i| at convergence
+ * @param max_iters iteration budget (tests shrink it to force
+ *        divergence)
+ * @throws InfeasiblePartitioningError when any partition violates
+ *         the I_i > S_i^R bound
+ * @throws SolverDivergenceError when the budget runs out; carries
+ *         the lowest-residual alphas seen
  */
 std::vector<double>
 solveScalingFactors(const std::vector<PartitionSpec> &parts,
-                    std::uint32_t candidates, double tol = 1e-7);
+                    std::uint32_t candidates, double tol = 1e-7,
+                    int max_iters = 20000);
+
+/**
+ * Best-effort variant: on divergence, warn and return the
+ * lowest-residual alphas instead of throwing. Infeasibility still
+ * throws — there is no sensible fallback for it.
+ */
+std::vector<double>
+solveScalingFactorsClamped(const std::vector<PartitionSpec> &parts,
+                           std::uint32_t candidates,
+                           double tol = 1e-7, int max_iters = 20000);
 
 } // namespace analytic
 } // namespace fscache

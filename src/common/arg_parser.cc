@@ -1,5 +1,6 @@
 #include "common/arg_parser.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 
@@ -7,6 +8,52 @@
 
 namespace fscache
 {
+
+std::int64_t
+parseInt64Arg(const std::string &flag, const std::string &token)
+{
+    if (token.empty())
+        fatal("option '%s': empty value (expected an integer, "
+              "e.g. 42)", flag.c_str());
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0')
+        fatal("option '%s': \"%s\" is not an integer (expected "
+              "e.g. 42)", flag.c_str(), token.c_str());
+    if (errno == ERANGE)
+        fatal("option '%s': \"%s\" is out of range for a 64-bit "
+              "integer", flag.c_str(), token.c_str());
+    return v;
+}
+
+std::uint64_t
+parseU64Arg(const std::string &flag, const std::string &token)
+{
+    std::int64_t v = parseInt64Arg(flag, token);
+    if (v < 0)
+        fatal("option '%s': \"%s\" must not be negative",
+              flag.c_str(), token.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+parseDoubleArg(const std::string &flag, const std::string &token)
+{
+    if (token.empty())
+        fatal("option '%s': empty value (expected a number, "
+              "e.g. 0.5)", flag.c_str());
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0')
+        fatal("option '%s': \"%s\" is not a number (expected "
+              "e.g. 0.5)", flag.c_str(), token.c_str());
+    if (errno == ERANGE)
+        fatal("option '%s': \"%s\" is out of range for a double",
+              flag.c_str(), token.c_str());
+    return v;
+}
 
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)),
@@ -96,16 +143,14 @@ ArgParser::parse(int argc, const char *const *argv)
                 fatal("option '--%s' needs a value", arg.c_str());
             value = argv[++i];
         }
-        // Validate typed values eagerly.
-        try {
-            if (opt.kind == Kind::Int)
-                (void)std::stoll(value);
-            else if (opt.kind == Kind::Double)
-                (void)std::stod(value);
-        } catch (const std::exception &) {
-            fatal("option '--%s': bad value '%s'", arg.c_str(),
-                  value.c_str());
-        }
+        // Validate typed values eagerly, rejecting trailing junk
+        // ("12abc") — the checked parsers exit with a message
+        // naming the flag and the offending token.
+        std::string flag = "--" + arg;
+        if (opt.kind == Kind::Int)
+            (void)parseInt64Arg(flag, value);
+        else if (opt.kind == Kind::Double)
+            (void)parseDoubleArg(flag, value);
         opt.value = value;
         opt.given = true;
     }
@@ -130,13 +175,14 @@ ArgParser::getString(const std::string &name) const
 std::int64_t
 ArgParser::getInt(const std::string &name) const
 {
-    return std::stoll(find(name, Kind::Int).value);
+    return parseInt64Arg("--" + name, find(name, Kind::Int).value);
 }
 
 double
 ArgParser::getDouble(const std::string &name) const
 {
-    return std::stod(find(name, Kind::Double).value);
+    return parseDoubleArg("--" + name,
+                          find(name, Kind::Double).value);
 }
 
 bool

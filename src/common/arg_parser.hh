@@ -19,6 +19,26 @@
 namespace fscache
 {
 
+/**
+ * Checked full-token numeric parsers for command-line values.
+ *
+ * Unlike bare std::stoll/std::stod they reject trailing junk
+ * ("12abc"), empty tokens and out-of-range values, and exit(1) with
+ * a message naming the flag, the offending token and the expected
+ * form. `flag` is the user-facing spelling, e.g. "--lines".
+ */
+std::int64_t parseInt64Arg(const std::string &flag,
+                           const std::string &token);
+
+/** As parseInt64Arg, additionally rejecting negative values. */
+std::uint64_t parseU64Arg(const std::string &flag,
+                          const std::string &token);
+
+/** Checked full-token double parser (rejects NaN/inf spellings
+ *  only if malformed; accepts any finite decimal). */
+double parseDoubleArg(const std::string &flag,
+                      const std::string &token);
+
 /** See file comment. */
 class ArgParser
 {

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cooperative cancellation tokens for sweep cells.
+ *
+ * A wedged simulation cell (infinite feedback loop, pathological
+ * convergence spin, injected hang fault) must not deadlock the
+ * whole sweep pool. Rather than killing threads — impossible to do
+ * safely in C++ — the runner installs a *cancellation scope* around
+ * each cell and the long-running simulation loops (TimingSim::run,
+ * runUntimed, driveByInsertionRate, PartitionedCache::access) poll
+ * it at a coarse stride.
+ *
+ * pollCancellation() is the single check point:
+ *  - no scope installed (the default, e.g. plain map()): one
+ *    thread-local pointer load, then return — effectively free;
+ *  - scope installed, no deadline: one relaxed atomic load;
+ *  - scope with a deadline (FS_CELL_TIMEOUT_MS): additionally one
+ *    steady-clock read. Call sites throttle with a modulo counter
+ *    so even that is amortized to nothing.
+ *
+ * When the deadline has passed, pollCancellation() throws
+ * CellTimeoutError; the cell guard maps it to CellStatus::TimedOut
+ * and the worker thread moves on to the next cell. Determinism: a
+ * deadline that never fires changes nothing — the clock value is
+ * compared, never stored in results.
+ */
+
+#ifndef FSCACHE_COMMON_CANCELLATION_HH
+#define FSCACHE_COMMON_CANCELLATION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace fscache
+{
+
+/** Shared cancellation state, owned by the guard via shared_ptr. */
+class CancelState
+{
+  public:
+    /** @param deadline_ns watchdog budget; 0 means no deadline */
+    explicit CancelState(std::uint64_t deadline_ns = 0);
+
+    /** Request cancellation (tests / external observers). */
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** True iff the deadline (if any) has passed; marks cancelled. */
+    bool expired();
+
+    /** Deadline budget in ns (0 = none); for diagnostics. */
+    std::uint64_t budgetNs() const { return budget_ns_; }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    std::uint64_t budget_ns_;   ///< 0 = no deadline
+    std::uint64_t deadline_ns_; ///< absolute, steady-clock ns
+};
+
+/**
+ * RAII: installs a CancelState as the calling thread's current
+ * scope and restores the previous one on destruction (scopes nest).
+ */
+class CancelScope
+{
+  public:
+    explicit CancelScope(std::shared_ptr<CancelState> state);
+    ~CancelScope();
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    CancelState *prev_;
+};
+
+namespace detail
+{
+/** The calling thread's current scope (nullptr outside any). */
+CancelState *currentCancelState();
+/** Slow path of pollCancellation(); throws when cancelled/expired. */
+void pollCancellationSlow(CancelState *state);
+} // namespace detail
+
+/**
+ * Cooperative cancellation check point (see file comment). Throws
+ * CellTimeoutError when the current scope's deadline has expired,
+ * CellCancelledError when it was cancelled explicitly. No-op when
+ * no scope is installed.
+ */
+inline void
+pollCancellation()
+{
+    CancelState *state = detail::currentCancelState();
+    if (state != nullptr)
+        detail::pollCancellationSlow(state);
+}
+
+/** Parse FS_CELL_TIMEOUT_MS (0 / unset => no deadline). */
+std::uint64_t cellTimeoutMsFromEnv();
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_CANCELLATION_HH

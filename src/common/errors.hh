@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Typed, recoverable error taxonomy for sweep cells.
+ *
+ * fatal()/panic() (common/log.hh) remain the right tool for user
+ * configuration errors at tool startup and for internal invariant
+ * violations. Everything that can go wrong *inside one sweep cell*,
+ * however, must be a typed exception derived from FsError so the
+ * cell guard (runner/cell_guard.hh) can quarantine the cell instead
+ * of the whole process dying.
+ *
+ * The taxonomy drives the guard's retry policy:
+ *
+ *  - TransientError: worth retrying (bounded attempts, exponential
+ *    backoff). Injected faults and genuinely racy environmental
+ *    failures (e.g. a flaky filesystem read) belong here.
+ *  - CellTimeoutError: the cooperative watchdog deadline expired;
+ *    never retried (a wedged cell stays wedged).
+ *  - every other FsError (and any std::exception): permanent; the
+ *    cell is quarantined on the first failure.
+ */
+
+#ifndef FSCACHE_COMMON_ERRORS_HH
+#define FSCACHE_COMMON_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace fscache
+{
+
+/** Base class for recoverable, per-cell failures. */
+class FsError : public std::runtime_error
+{
+  public:
+    explicit FsError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** A failure worth retrying (see file comment). */
+class TransientError : public FsError
+{
+  public:
+    explicit TransientError(const std::string &what) : FsError(what)
+    {
+    }
+};
+
+/**
+ * Thrown by pollCancellation() when the installed watchdog deadline
+ * has expired. Maps to CellStatus::TimedOut; never retried.
+ */
+class CellTimeoutError : public FsError
+{
+  public:
+    explicit CellTimeoutError(const std::string &what) : FsError(what)
+    {
+    }
+};
+
+/**
+ * Thrown by pollCancellation() when the cell was cancelled
+ * explicitly (not via a deadline).
+ */
+class CellCancelledError : public FsError
+{
+  public:
+    explicit CellCancelledError(const std::string &what)
+        : FsError(what)
+    {
+    }
+};
+
+/**
+ * A trace file (or stream) failed validation: truncated, corrupt,
+ * or empty input. The message names the source, record index, and
+ * byte offset of the offending line.
+ */
+class TraceFormatError : public FsError
+{
+  public:
+    explicit TraceFormatError(const std::string &what) : FsError(what)
+    {
+    }
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_ERRORS_HH

@@ -1,5 +1,6 @@
 #include "partition/futility_scaling_feedback.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hh"
@@ -57,6 +58,26 @@ FutilityScalingFeedback::onEviction(PartId part)
         return;
     ++regs_[part].evictions;
     maybeAdjust(part);
+}
+
+void
+FutilityScalingFeedback::seedFactors(const std::vector<double> &alphas)
+{
+    fs_assert(alphas.size() == regs_.size(),
+              "seedFactors: %zu alphas for %zu partitions",
+              alphas.size(), regs_.size());
+    const double log_ratio = std::log(cfg_.changingRatio);
+    for (std::size_t p = 0; p < alphas.size(); ++p) {
+        fs_assert(alphas[p] > 0.0, "scaling factor must be positive");
+        double w = std::round(std::log(alphas[p]) / log_ratio);
+        w = std::clamp(w, 0.0,
+                       static_cast<double>(cfg_.maxShiftWidth));
+        PartRegs &r = regs_[p];
+        r.shiftWidth = static_cast<std::uint32_t>(w);
+        r.factor = std::pow(cfg_.changingRatio, w);
+        r.insertions = 0;
+        r.evictions = 0;
+    }
 }
 
 void

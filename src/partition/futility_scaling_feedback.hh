@@ -59,6 +59,16 @@ class FutilityScalingFeedback : public PartitionScheme
     void onInsertion(PartId part) override;
     void onEviction(PartId part) override;
 
+    /**
+     * Seed the per-partition shift widths from analytic scaling
+     * factors (e.g. SolverDivergenceError::bestAlphas or a
+     * solveScalingFactorsClamped() result): each width is
+     * round(log_ratio(alpha)) clamped to [0, maxShiftWidth], so the
+     * controller starts near the analytic fixed point instead of at
+     * width 0. Must be called after bind().
+     */
+    void seedFactors(const std::vector<double> &alphas);
+
     /** Current shift width of a partition (for tests/reports). */
     std::uint32_t shiftWidth(PartId part) const
     { return regs_[part].shiftWidth; }

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include "common/cancellation.hh"
 #include "common/log.hh"
 #include "runner/sweep_runner.hh"
 #include "trace/benchmark_profiles.hh"
@@ -56,7 +57,8 @@ runUntimed(PartitionedCache &cache, const Workload &workload,
             const Access &acc = trace[pos[t]++];
             cache.access(static_cast<PartId>(t), acc.addr,
                          acc.nextUse);
-            ++issued;
+            if ((++issued & 0x1fff) == 0)
+                pollCancellation();
             if (!reset && issued >= warmup) {
                 cache.resetStats();
                 reset = true;
@@ -123,8 +125,13 @@ driveByInsertionRate(PartitionedCache &cache,
     Rng rng(mix64(seed ^ 0x696e7372ull));
 
     // Feed the chosen partition until it inserts (misses) once.
+    // The inner loop can spin for a long time on a hit-heavy
+    // source, so it polls the watchdog itself.
+    std::uint64_t polls = 0;
     auto insert_once = [&](std::size_t pick) {
         while (true) {
+            if ((++polls & 0xfff) == 0)
+                pollCancellation();
             Access a = sources[pick]->next();
             AccessOutcome out = cache.access(
                 static_cast<PartId>(pick), a.addr, a.nextUse);

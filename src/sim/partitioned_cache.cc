@@ -1,5 +1,6 @@
 #include "sim/partitioned_cache.hh"
 
+#include "common/cancellation.hh"
 #include "common/log.hh"
 
 namespace fscache
@@ -96,6 +97,10 @@ AccessOutcome
 PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
 {
     fs_assert(part < numParts_, "access for unknown partition");
+    // Watchdog check point for drivers that loop on access()
+    // directly; free unless a cancellation scope is installed.
+    if ((++accessTick_ & 0x1fff) == 0)
+        pollCancellation();
     AccessOutcome out;
     TagStore &tags = array_->tags();
 

@@ -155,6 +155,7 @@ class PartitionedCache : public PartitionOps
     CandidateVec candBuf_;
     std::uint32_t devSampleInterval_ = 1;
     std::uint32_t evictionsSinceSample_ = 0;
+    std::uint64_t accessTick_ = 0; ///< throttles watchdog polls
 };
 
 } // namespace fscache

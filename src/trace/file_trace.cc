@@ -1,21 +1,55 @@
 #include "trace/file_trace.hh"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/errors.hh"
 #include "common/log.hh"
 
 namespace fscache
 {
 
+namespace
+{
+
+/**
+ * Full-token u64 parse (hex 0x... or decimal); throws
+ * TraceFormatError with the source, record index, line and byte
+ * offset of the offending token.
+ */
+std::uint64_t
+parseField(const std::string &tok, const char *field,
+           const std::string &source, std::uint64_t record,
+           std::uint64_t lineno, std::uint64_t offset)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 0);
+    if (end == tok.c_str() || *end != '\0') {
+        throw TraceFormatError(strprintf(
+            "%s: bad %s '%s' (record %llu, line %llu, byte offset "
+            "%llu)", source.c_str(), field, tok.c_str(),
+            static_cast<unsigned long long>(record),
+            static_cast<unsigned long long>(lineno),
+            static_cast<unsigned long long>(offset)));
+    }
+    return v;
+}
+
+} // namespace
+
 TraceBuffer
-readTrace(std::istream &in)
+readTrace(std::istream &in, const std::string &source)
 {
     TraceBuffer buf;
     std::string line;
     std::uint64_t lineno = 0;
+    std::uint64_t offset = 0; // byte offset of the current line
     while (std::getline(in, line)) {
         ++lineno;
+        std::uint64_t line_start = offset;
+        offset += line.size() + 1;
+
         std::size_t hash = line.find('#');
         if (hash != std::string::npos)
             line.erase(hash);
@@ -24,24 +58,39 @@ readTrace(std::istream &in)
         if (!(fields >> addr_str))
             continue; // blank / comment-only line
 
+        std::uint64_t record = buf.size();
         Access acc;
-        try {
-            acc.addr = std::stoull(addr_str, nullptr, 0);
-        } catch (const std::exception &) {
-            fatal("trace line %llu: bad address '%s'",
-                  static_cast<unsigned long long>(lineno),
-                  addr_str.c_str());
+        acc.addr = parseField(addr_str, "address", source, record,
+                              lineno, line_start);
+
+        std::string tok;
+        if (fields >> tok) {
+            std::uint64_t gap = parseField(tok, "instr-gap", source,
+                                           record, lineno,
+                                           line_start);
+            acc.instrGap = static_cast<std::uint32_t>(
+                gap < 1 ? 1 : gap);
         }
-        std::uint64_t gap = 1;
-        if (fields >> gap) {
-            if (gap < 1)
-                gap = 1;
+        if (fields >> tok) {
+            acc.nextUse = parseField(tok, "next-use", source, record,
+                                     lineno, line_start);
         }
-        acc.instrGap = static_cast<std::uint32_t>(gap);
-        std::uint64_t next_use;
-        if (fields >> next_use)
-            acc.nextUse = next_use;
+        if (fields >> tok) {
+            throw TraceFormatError(strprintf(
+                "%s: trailing field '%s' (record %llu, line %llu, "
+                "byte offset %llu); expected '<address> "
+                "[instr-gap] [next-use]'", source.c_str(),
+                tok.c_str(),
+                static_cast<unsigned long long>(record),
+                static_cast<unsigned long long>(lineno),
+                static_cast<unsigned long long>(line_start)));
+        }
         buf.accesses().push_back(acc);
+    }
+    if (buf.size() == 0) {
+        throw TraceFormatError(strprintf(
+            "%s: trace contains no accesses (file is empty or "
+            "holds only comments/blank lines)", source.c_str()));
     }
     return buf;
 }
@@ -50,9 +99,11 @@ TraceBuffer
 loadTraceFile(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        fatal("cannot open trace file '%s'", path.c_str());
-    return readTrace(in);
+    if (!in) {
+        throw TraceFormatError(strprintf(
+            "cannot open trace file '%s'", path.c_str()));
+    }
+    return readTrace(in, path);
 }
 
 void

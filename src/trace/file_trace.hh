@@ -21,10 +21,19 @@
 namespace fscache
 {
 
-/** Parse a trace from a stream (fatal on malformed lines). */
-TraceBuffer readTrace(std::istream &in);
+/**
+ * Parse a trace from a stream. Malformed or empty input throws
+ * TraceFormatError (common/errors.hh) with a diagnostic naming the
+ * source, record index, line and byte offset — typed so a sweep
+ * cell loading a bad trace is quarantined, not the process killed.
+ *
+ * @param source name used in diagnostics (file path, "<stream>")
+ */
+TraceBuffer readTrace(std::istream &in,
+                      const std::string &source = "<stream>");
 
-/** Load a trace file (fatal if unreadable). */
+/** Load a trace file; throws TraceFormatError if unreadable,
+ *  malformed or empty (see readTrace). */
 TraceBuffer loadTraceFile(const std::string &path);
 
 /** Write a trace (with next-use fields if annotated). */

@@ -131,6 +131,55 @@ TEST(Solver, FourPartitionSharesConverge)
     EXPECT_LT(alphas[2], alphas[3]);
 }
 
+TEST(Solver, DivergenceThrowsTypedWithBestAlphas)
+{
+    // A feasible system that cannot converge in one iteration: the
+    // typed error carries the lowest-residual alphas seen so
+    // callers can degrade gracefully instead of dying.
+    std::vector<PartitionSpec> parts{{0.4, 0.1},
+                                     {0.3, 0.2},
+                                     {0.2, 0.3},
+                                     {0.1, 0.4}};
+    try {
+        solveScalingFactors(parts, 16, 1e-7, 1);
+        FAIL() << "expected SolverDivergenceError";
+    } catch (const SolverDivergenceError &e) {
+        EXPECT_EQ(e.iterations, 1);
+        EXPECT_GT(e.residual, 0.0);
+        ASSERT_EQ(e.bestAlphas.size(), parts.size());
+        for (double a : e.bestAlphas)
+            EXPECT_GT(a, 0.0);
+        EXPECT_NE(std::string(e.what()).find("failed to converge"),
+                  std::string::npos);
+    }
+}
+
+TEST(Solver, ClampedFallsBackToBestEffort)
+{
+    std::vector<PartitionSpec> parts{{0.4, 0.1},
+                                     {0.3, 0.2},
+                                     {0.2, 0.3},
+                                     {0.1, 0.4}};
+    // Starved budget: must not throw, returns best-effort alphas.
+    auto clamped = solveScalingFactorsClamped(parts, 16, 1e-7, 2);
+    ASSERT_EQ(clamped.size(), parts.size());
+    for (double a : clamped)
+        EXPECT_GT(a, 0.0);
+    // Generous budget: identical to the exact solver.
+    auto exact = solveScalingFactors(parts, 16);
+    auto same = solveScalingFactorsClamped(parts, 16);
+    ASSERT_EQ(same.size(), exact.size());
+    for (std::size_t i = 0; i < exact.size(); ++i)
+        EXPECT_DOUBLE_EQ(same[i], exact[i]);
+}
+
+TEST(Solver, InfeasibleSystemThrowsTyped)
+{
+    std::vector<PartitionSpec> parts{{0.99, 0.5}, {0.01, 0.5}};
+    EXPECT_THROW(solveScalingFactors(parts, 16),
+                 InfeasiblePartitioningError);
+}
+
 TEST(AssocModel, UniformCacheAef)
 {
     EXPECT_NEAR(uniformCacheAef(16), 16.0 / 17.0, 1e-12);

@@ -113,8 +113,49 @@ TEST(ArgParserDeathTest, BadIntIsFatal)
 {
     ArgParser p = makeParser();
     const char *argv[] = {"tool", "--count", "abc"};
+    // The diagnostic names the flag, the token and the expected
+    // form, and the process exits cleanly with status 1.
     EXPECT_EXIT(p.parse(3, argv), ::testing::ExitedWithCode(1),
-                "bad value");
+                "option '--count': \"abc\" is not an integer");
+}
+
+TEST(ArgParserDeathTest, TrailingJunkIntIsFatal)
+{
+    // Bare std::stoll would silently accept "12abc" as 12.
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--count", "12abc"};
+    EXPECT_EXIT(p.parse(3, argv), ::testing::ExitedWithCode(1),
+                "option '--count': \"12abc\" is not an integer");
+}
+
+TEST(ArgParserDeathTest, TrailingJunkDoubleIsFatal)
+{
+    ArgParser p = makeParser();
+    const char *argv[] = {"tool", "--ratio", "0.5x"};
+    EXPECT_EXIT(p.parse(3, argv), ::testing::ExitedWithCode(1),
+                "option '--ratio': \"0.5x\" is not a number");
+}
+
+TEST(ArgParser, CheckedParsersAcceptValidTokens)
+{
+    EXPECT_EQ(parseInt64Arg("--n", "-42"), -42);
+    EXPECT_EQ(parseU64Arg("--n", "42"), 42u);
+    EXPECT_DOUBLE_EQ(parseDoubleArg("--x", "2.5e-3"), 2.5e-3);
+    EXPECT_EQ(parseU64Arg("--lines", "131072"), 131072u);
+}
+
+TEST(ArgParserDeathTest, CheckedParsersRejectMalformedTokens)
+{
+    EXPECT_EXIT(parseU64Arg("--lines", "12abc"),
+                ::testing::ExitedWithCode(1),
+                "option '--lines': \"12abc\" is not an integer");
+    EXPECT_EXIT(parseU64Arg("--lines", "-3"),
+                ::testing::ExitedWithCode(1),
+                "must not be negative");
+    EXPECT_EXIT(parseDoubleArg("--targets", ""),
+                ::testing::ExitedWithCode(1), "empty value");
+    EXPECT_EXIT(parseInt64Arg("--n", "99999999999999999999999"),
+                ::testing::ExitedWithCode(1), "out of range");
 }
 
 TEST(ArgParserDeathTest, FlagWithValueIsFatal)

@@ -101,11 +101,18 @@ TEST(ErrorDeathTest, TargetForUnknownPartition)
     EXPECT_DEATH(cache->setTarget(3, 10), "assertion");
 }
 
-TEST(ErrorDeathTest, InfeasiblePartitioningIsFatal)
+TEST(ErrorTyped, InfeasiblePartitioningThrows)
 {
-    // fatal() exits with status 1 rather than aborting.
-    EXPECT_EXIT(analytic::scalingFactorTwoPart(0.99, 0.5, 16),
-                ::testing::ExitedWithCode(1), "infeasible");
+    // Typed and recoverable: a sweep cell exploring the config
+    // space catches this (or is quarantined by the cell guard)
+    // instead of the whole process dying.
+    try {
+        analytic::scalingFactorTwoPart(0.99, 0.5, 16);
+        FAIL() << "expected InfeasiblePartitioningError";
+    } catch (const analytic::InfeasiblePartitioningError &e) {
+        EXPECT_NE(std::string(e.what()).find("infeasible"),
+                  std::string::npos);
+    }
 }
 
 TEST(ErrorDeathTest, RngBelowZero)

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
+#include "analytic/scaling_solver.hh"
 #include "partition/futility_scaling_analytic.hh"
 #include "partition/futility_scaling_feedback.hh"
 #include "partition/partitioning_first_scheme.hh"
@@ -261,6 +263,47 @@ TEST(FsFeedback, ScaledVictimSelection)
     CandidateVec c = cands({{1, 0, 0.5}, {2, 1, 0.8}});
     // 0.5 * 2 = 1.0 > 0.8 * 1.
     EXPECT_EQ(s.selectVictim(c, 0), 0u);
+}
+
+TEST(FsFeedback, SeedFactorsClampsToShiftGrid)
+{
+    MockOps ops({5, 5, 5});
+    FutilityScalingFeedback s;
+    s.bind(&ops, 3);
+    // alpha=1 -> width 0; alpha=3.7 -> round(log2 3.7)=2 -> factor
+    // 4; alpha=1e9 clamps to maxShiftWidth (7) -> factor 128.
+    s.seedFactors({1.0, 3.7, 1e9});
+    EXPECT_EQ(s.shiftWidth(0), 0u);
+    EXPECT_DOUBLE_EQ(s.scalingFactor(0), 1.0);
+    EXPECT_EQ(s.shiftWidth(1), 2u);
+    EXPECT_DOUBLE_EQ(s.scalingFactor(1), 4.0);
+    EXPECT_EQ(s.shiftWidth(2), 7u);
+    EXPECT_DOUBLE_EQ(s.scalingFactor(2), 128.0);
+}
+
+TEST(FsFeedback, SeedFactorsFromClampedSolver)
+{
+    // The divergence-fallback path: seed the controller with
+    // best-effort analytic alphas; the feedback loop still adjusts
+    // from there.
+    using namespace analytic;
+    std::vector<PartitionSpec> parts{{0.6, 0.4}, {0.4, 0.6}};
+    auto alphas = solveScalingFactorsClamped(parts, 16, 1e-7, 3);
+    MockOps ops({20, 5});
+    FutilityScalingFeedback s;
+    s.bind(&ops, 2);
+    s.setTarget(0, 10);
+    s.setTarget(1, 10);
+    s.seedFactors(alphas);
+    // Widths are on the ratio^k grid and factors match them.
+    for (PartId p = 0; p < 2; ++p)
+        EXPECT_DOUBLE_EQ(s.scalingFactor(p),
+                         std::pow(2.0, s.shiftWidth(p)));
+    // Controller keeps working after seeding.
+    for (int i = 0; i < 16; ++i)
+        s.onInsertion(0);
+    EXPECT_DOUBLE_EQ(s.scalingFactor(0),
+                     std::pow(2.0, s.shiftWidth(0)));
 }
 
 TEST(SchemeFactory, BuildsAndParses)

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.hh"
 #include "common/random.hh"
 #include "runner/sweep_runner.hh"
 #include "runner/thread_pool.hh"
@@ -262,6 +263,59 @@ TEST(SweepRunnerStress, ForEachWritesVisibleAfterReturn)
     });
     for (std::size_t i = 0; i < kCells; ++i)
         ASSERT_EQ(slots[i], cellHash(i, 16)) << "cell " << i;
+}
+
+TEST(SweepRunnerStress, ResilientSweepUnderFaultStorm)
+{
+    // Guard + pool under TSan: quarantined cells, transient retries
+    // and clean cells interleave across workers; the outcome slots
+    // are per-cell, so the only shared state is the pool's own.
+    FaultInjector::installForTest(
+        "rate=0.25:transient;cell=5:throw;cell=17:throw");
+    CellGuardConfig cfg;
+    cfg.maxAttempts = 2;
+    cfg.backoffBaseMs = 0;
+    SweepRunner serial(1);
+    SweepRunner wide(hwJobs());
+    constexpr std::size_t kCells = 256;
+    auto cell = [](std::size_t i) { return cellHash(i, 16); };
+    auto s = serial.mapResilient(kCells, cell, cfg);
+    auto p = wide.mapResilient(kCells, cell, cfg);
+    FaultInjector::installForTest("");
+    ASSERT_EQ(s.cells.size(), p.cells.size());
+    for (std::size_t i = 0; i < kCells; ++i) {
+        ASSERT_EQ(s.cells[i].ok(), p.cells[i].ok()) << "cell " << i;
+        ASSERT_EQ(s.cells[i].attempts, p.cells[i].attempts)
+            << "cell " << i;
+        if (s.cells[i].ok()) {
+            ASSERT_EQ(*s.cells[i].value, *p.cells[i].value)
+                << "cell " << i;
+        }
+    }
+    EXPECT_EQ(s.manifest(), p.manifest());
+    EXPECT_FALSE(s.cells[5].ok());
+    EXPECT_FALSE(s.cells[17].ok());
+}
+
+TEST(SweepRunnerStress, WatchdogReapsHangsAcrossWorkers)
+{
+    // Several wedged cells spread over a wide pool: every hang must
+    // be reaped by its own deadline without wedging waitIdle().
+    FaultInjector::installForTest("cell=3:hang;cell=9:hang;"
+                                  "cell=15:hang");
+    CellGuardConfig cfg;
+    cfg.maxAttempts = 1;
+    cfg.timeoutMs = 50;
+    cfg.backoffBaseMs = 0;
+    SweepRunner wide(hwJobs());
+    auto report = wide.mapResilient(
+        24, [](std::size_t i) { return cellHash(i, 16); }, cfg);
+    FaultInjector::installForTest("");
+    EXPECT_EQ(report.okCount(), 21u);
+    for (std::size_t i : {3u, 9u, 15u}) {
+        EXPECT_EQ(report.cells[i].status, CellStatus::TimedOut) << i;
+        EXPECT_EQ(report.cells[i].attempts, 1u) << i;
+    }
 }
 
 TEST(RngDeterminism, StreamsInvariantAcrossFsJobs)

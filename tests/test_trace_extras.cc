@@ -9,6 +9,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/errors.hh"
 #include "trace/cyclic_generator.hh"
 #include "trace/file_trace.hh"
 #include "trace/next_use_annotator.hh"
@@ -120,19 +121,67 @@ TEST(PhasedGenerator, SinglePhaseLoopsForever)
 }
 
 
-using FileTraceDeathTest = ::testing::Test;
-
-TEST(FileTraceDeathTest, BadAddressIsFatal)
+TEST(FileTrace, BadAddressThrowsTyped)
 {
     std::istringstream in("zzz 5\n");
-    EXPECT_EXIT(readTrace(in), ::testing::ExitedWithCode(1),
-                "bad address");
+    try {
+        readTrace(in, "bad.trc");
+        FAIL() << "expected TraceFormatError";
+    } catch (const TraceFormatError &e) {
+        // Diagnostic names the source, field, record index, line
+        // and byte offset.
+        EXPECT_NE(std::string(e.what()).find("bad.trc"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("bad address 'zzz'"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("record 0"),
+                  std::string::npos);
+    }
 }
 
-TEST(FileTraceDeathTest, MissingFileIsFatal)
+TEST(FileTrace, DiagnosticCarriesRecordAndOffset)
 {
-    EXPECT_EXIT(loadTraceFile("/nonexistent/file.trc"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    // 1st line (10 bytes incl. newline) is fine; the bad token
+    // starts record 1 at byte offset 10, line 2.
+    std::istringstream in("0x10 5 42\n0x20 oops\n");
+    try {
+        readTrace(in, "t.trc");
+        FAIL() << "expected TraceFormatError";
+    } catch (const TraceFormatError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("bad instr-gap 'oops'"),
+                  std::string::npos) << msg;
+        EXPECT_NE(msg.find("record 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("byte offset 10"), std::string::npos)
+            << msg;
+    }
+}
+
+TEST(FileTrace, TrailingFieldThrows)
+{
+    std::istringstream in("0x10 5 42 99\n");
+    EXPECT_THROW(readTrace(in), TraceFormatError);
+}
+
+TEST(FileTrace, EmptyTraceThrowsClearMessage)
+{
+    std::istringstream in("# only a comment\n\n");
+    try {
+        readTrace(in, "empty.trc");
+        FAIL() << "expected TraceFormatError";
+    } catch (const TraceFormatError &e) {
+        EXPECT_NE(std::string(e.what()).find("no accesses"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("empty.trc"),
+                  std::string::npos);
+    }
+}
+
+TEST(FileTrace, MissingFileThrowsTyped)
+{
+    EXPECT_THROW(loadTraceFile("/nonexistent/file.trc"),
+                 TraceFormatError);
 }
 
 } // namespace

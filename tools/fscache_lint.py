@@ -31,6 +31,14 @@ float-accum
     policy hides a numerical-stability decision. Any `x += ...` where
     x is float/double must carry a policy annotation (see below).
 
+unchecked-sto
+    tools/ and bench/ must not call bare std::sto* (stoi, stoull,
+    stod, ...): those accept trailing junk ("12abc" parses as 12) and
+    throw ungreppable std::invalid_argument on garbage. Use the
+    checked parsers in common/arg_parser.hh (parseInt64Arg,
+    parseU64Arg, parseDoubleArg) which validate the full token and
+    exit with a diagnostic naming the flag and the offending value.
+
 Suppressions / policies
 -----------------------
 A finding is suppressed by a directive comment on the same line or
@@ -80,13 +88,17 @@ WALL_CLOCK_PATTERNS = [
 
 UNORDERED_PATTERN = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 
+UNCHECKED_STO_PATTERN = re.compile(
+    r"\bstd::sto(?:i|l|ll|ul|ull|f|d|ld)\b")
+
 # Scopes are path prefixes relative to the scanned root.
 RANDOM_SCOPE = ("src/sim", "src/partition", "src/ranking", "src/cache")
 AGGREGATION_SCOPE = ("src/stats", "src/sim")
 ACCUM_SCOPE = ("src/stats",)
+STO_SCOPE = ("tools", "bench")
 
 ALL_RULES = ("raw-random", "wall-clock", "unordered-aggregation",
-             "float-accum")
+             "float-accum", "unchecked-sto")
 
 DIRECTIVE_RE = re.compile(
     r"//\s*fs-lint:\s*(allow|float-accum)\(([\w-]+)\)\s*(.*)")
@@ -244,6 +256,7 @@ def check_file(root: Path, path: Path, findings: list):
     scoped_random = in_scope(rel, RANDOM_SCOPE)
     scoped_agg = in_scope(rel, AGGREGATION_SCOPE)
     scoped_accum = in_scope(rel, ACCUM_SCOPE)
+    scoped_sto = in_scope(rel, STO_SCOPE)
 
     accum_names = set()
     if scoped_accum:
@@ -268,6 +281,12 @@ def check_file(root: Path, path: Path, findings: list):
                     report(no, "wall-clock",
                            f"{what}: wall-clock read in simulation "
                            "code breaks run-to-run determinism")
+        if scoped_sto and UNCHECKED_STO_PATTERN.search(code):
+            report(no, "unchecked-sto",
+                   "bare std::sto* accepts trailing junk and throws "
+                   "on garbage; use the checked parsers in "
+                   "common/arg_parser.hh (parseInt64Arg, "
+                   "parseU64Arg, parseDoubleArg)")
         if scoped_agg and UNORDERED_PATTERN.search(code):
             report(no, "unordered-aggregation",
                    "hash-container in a result-aggregation path; "
@@ -286,8 +305,16 @@ def check_file(root: Path, path: Path, findings: list):
 def scan(root: Path, files=None) -> list:
     findings: list = []
     if files is None:
-        files = sorted(p for p in (root / "src").rglob("*")
-                       if p.suffix in (".cc", ".hh"))
+        files = []
+        for sub in ("src", "tools", "bench"):
+            d = root / sub
+            if d.is_dir():
+                files.extend(p for p in d.rglob("*")
+                             if p.suffix in (".cc", ".hh"))
+        # The bundled bad-snippet fixtures are *supposed* to fail.
+        fixtures = root / "tools" / "lint_fixtures"
+        files = sorted(p for p in files
+                       if fixtures not in p.parents)
     for f in files:
         check_file(root, f, findings)
     return findings
@@ -320,6 +347,8 @@ def self_test(repo_root: Path) -> int:
         ("src/stats/bad_accum.cc", 15, "float-accum"),
         ("src/stats/bad_accum.cc", 23, "unordered-aggregation"),
         ("src/stats/bad_accum.cc", 32, "float-accum"),
+        ("tools/bad_sto.cc", 9, "unchecked-sto"),
+        ("tools/bad_sto.cc", 10, "unchecked-sto"),
     }
     ok = True
     for miss in sorted(expected - got):

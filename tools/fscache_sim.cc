@@ -62,8 +62,13 @@ parseTargets(const std::string &spec, LineId manageable,
         fatal("--targets has %zu entries for %u threads",
               parts.size(), threads);
     std::vector<double> fractions;
-    for (const std::string &p : parts)
-        fractions.push_back(std::stod(p));
+    for (const std::string &p : parts) {
+        double f = parseDoubleArg("--targets", p);
+        if (f < 0.0)
+            fatal("--targets entry \"%s\" must not be negative",
+                  p.c_str());
+        fractions.push_back(f);
+    }
     return proportionalShare(manageable, fractions);
 }
 
@@ -173,14 +178,8 @@ main(int argc, char **argv)
 
     std::vector<LineId> sizes;
     for (const std::string &s : split(args.getString("lines"), ',')) {
-        std::size_t pos = 0;
-        unsigned long long v = 0;
-        try {
-            v = std::stoull(s, &pos);
-        } catch (const std::exception &) {
-            pos = 0;
-        }
-        if (pos != s.size() || v == 0)
+        std::uint64_t v = parseU64Arg("--lines", s);
+        if (v == 0)
             fatal("--lines entry \"%s\" is not a positive line "
                   "count", s.c_str());
         sizes.push_back(static_cast<LineId>(v));
@@ -237,8 +236,10 @@ main(int argc, char **argv)
 
     // Run: one cell per cache size, each with a private cache (all
     // randomness re-seeded from --seed) driving the shared traces.
+    // Resilient: a failing size renders as an explicit FAILED entry
+    // and the other sizes still report (see docs/ROBUSTNESS.md).
     SweepRunner runner;
-    auto cells = runner.map(sizes.size(), [&](std::size_t i) {
+    auto report = runner.mapResilient(sizes.size(), [&](std::size_t i) {
         CellResult cell;
         cell.lines = sizes[i];
         CacheSpec cspec = spec;
@@ -261,24 +262,48 @@ main(int argc, char **argv)
         return cell;
     });
 
+    // Quarantine manifest to stderr; printed only when cells
+    // failed, so fault-free runs stay byte-identical.
+    auto failures = report.failures();
+    if (!failures.empty())
+        std::fprintf(stderr, "%s", renderManifest(failures).c_str());
+    const CellResult *first = nullptr;
+    for (const CellOutcome<CellResult> &o : report.cells) {
+        if (o.ok()) {
+            first = &*o.value;
+            break;
+        }
+    }
+    if (first == nullptr) {
+        std::fprintf(stderr, "fscache_sim: every sweep cell failed; "
+                             "no results\n");
+        return 1;
+    }
+
     // Report in size order regardless of completion order.
-    const CellResult &first = cells.front();
     if (args.getFlag("json")) {
         JsonWriter json(std::cout);
-        json.field("scheme", first.cache->scheme().name());
-        json.field("array", first.cache->array().name());
-        json.field("ranking", first.cache->ranking().name());
-        if (cells.size() == 1) {
+        json.field("scheme", first->cache->scheme().name());
+        json.field("array", first->cache->array().name());
+        json.field("ranking", first->cache->ranking().name());
+        if (report.cells.size() == 1) {
             json.field("lines",
-                       std::uint64_t{first.cache->cacheLines()});
-            reportJson(json, first, wl, threads);
+                       std::uint64_t{first->cache->cacheLines()});
+            reportJson(json, *first, wl, threads);
         } else {
             json.beginArray("cells");
-            for (const CellResult &cell : cells) {
+            for (std::size_t i = 0; i < report.cells.size(); ++i) {
+                const CellOutcome<CellResult> &o = report.cells[i];
                 json.beginObject();
-                json.field("lines",
-                           std::uint64_t{cell.cache->cacheLines()});
-                reportJson(json, cell, wl, threads);
+                json.field("lines", std::uint64_t{sizes[i]});
+                if (o.ok()) {
+                    reportJson(json, *o.value, wl, threads);
+                } else {
+                    json.field("failed", true);
+                    json.field("error_class",
+                               std::string(
+                                   errorClassName(o.errorClass)));
+                }
                 json.endObject();
             }
             json.endArray();
@@ -288,7 +313,15 @@ main(int argc, char **argv)
         return 0;
     }
 
-    for (const CellResult &cell : cells) {
+    for (std::size_t i = 0; i < report.cells.size(); ++i) {
+        const CellOutcome<CellResult> &o = report.cells[i];
+        if (!o.ok()) {
+            std::printf("FAILED(%s) | %u lines, %u threads\n",
+                        errorClassName(o.errorClass), sizes[i],
+                        threads);
+            continue;
+        }
+        const CellResult &cell = *o.value;
         std::printf("%s | %s | %s | %u lines, %u threads\n",
                     cell.cache->scheme().name().c_str(),
                     cell.cache->array().name().c_str(),

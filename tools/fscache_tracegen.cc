@@ -46,12 +46,20 @@ main(int argc, char **argv)
     if (!args.parse(argc, argv))
         return 0;
 
-    auto accesses =
-        static_cast<std::uint64_t>(args.getInt("accesses"));
+    std::int64_t accesses_arg = args.getInt("accesses");
+    if (accesses_arg < 1)
+        fatal("--accesses must be >= 1 (got %lld)",
+              static_cast<long long>(accesses_arg));
+    auto accesses = static_cast<std::uint64_t>(accesses_arg);
     std::unique_ptr<TraceSource> src;
     if (args.getFlag("custom")) {
         StackDistConfig cfg;
         cfg.pNew = args.getDouble("pnew");
+        if (cfg.pNew < 0.0 || cfg.pNew > 1.0)
+            fatal("--pnew must be a probability in [0,1] (got %g)",
+                  cfg.pNew);
+        if (args.getInt("max-depth") < 1 || args.getInt("gap") < 1)
+            fatal("--max-depth and --gap must be >= 1");
         cfg.depth = DepthDist::logUniform(
             1, static_cast<std::uint64_t>(args.getInt("max-depth")));
         cfg.maxResident = 2 * cfg.depth.maxDepth;
