@@ -75,6 +75,10 @@ benchSelectVictim(benchmark::State &state, SchemeKind kind)
             scheme->selectVictim(cands, incoming));
         incoming = static_cast<PartId>((incoming + 1) % kParts);
     }
+    // Decisions/sec in --benchmark_format=json output
+    // (items_per_second), consumed by scripts/bench_baseline.sh.
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
 }
 
 void
@@ -103,6 +107,10 @@ benchFullAccess(benchmark::State &state, SchemeKind kind,
         benchmark::DoNotOptimize(cache->access(
             part, (part + 1) * 1000000 + rng.below(8192)));
     }
+    // Accesses/sec in --benchmark_format=json output
+    // (items_per_second), consumed by scripts/bench_baseline.sh.
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
 }
 
 } // namespace

@@ -1,6 +1,6 @@
 /**
  * @file
- * Microbench for the SweepRunner subsystem: runs a fixed grid of
+ * Microbench for simulation throughput: runs a fixed grid of
  * independent simulation cells (build cache -> drive trace ->
  * collect misses) serially (1 job) and in parallel (FS_JOBS,
  * default hardware concurrency) and reports cells/sec for each,
@@ -8,16 +8,23 @@
  * counts are identical between the two runs — the determinism
  * guarantee the figure benches rely on.
  *
+ * The serial run doubles as the access-engine throughput probe:
+ * accesses/sec on one thread is the metric scripts/bench_baseline.sh
+ * gates against bench/BENCH_access_engine.json (see docs/PERF.md).
+ * Set FS_BENCH_JSON=<path> to also write the measurements as JSON.
+ *
  * Run on a multi-core host, expect near-linear scaling: the cells
  * are seconds of pure compute with no shared mutable state.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "bench_util.hh"
 #include "runner/sweep_runner.hh"
+#include "stats/json_writer.hh"
 
 using namespace fscache;
 
@@ -26,8 +33,21 @@ namespace
 
 constexpr std::size_t kCells = 24;
 
+/** Per-cell result: misses for determinism, accesses for rates. */
+struct CellCounts
+{
+    std::uint64_t misses = 0;
+    std::uint64_t accesses = 0;
+
+    bool
+    operator==(const CellCounts &o) const
+    {
+        return misses == o.misses && accesses == o.accesses;
+    }
+};
+
 /** One sweep cell: a private small cache driven by its own trace. */
-std::uint64_t
+CellCounts
 runCell(std::size_t cell)
 {
     const char *benches[] = {"mcf", "omnetpp", "h264ref", "lbm"};
@@ -48,15 +68,19 @@ runCell(std::size_t cell)
         {benches[cell % 4], benches[(cell + 1) % 4]},
         bench::scaled(60000), 9000 + cell);
     runUntimed(*cache, wl, 0.2);
-    return cache->stats(0).misses + cache->stats(1).misses;
+    CellCounts out;
+    out.misses = cache->stats(0).misses + cache->stats(1).misses;
+    out.accesses =
+        cache->stats(0).accesses() + cache->stats(1).accesses();
+    return out;
 }
 
 double
-timeSweep(unsigned jobs, std::vector<std::uint64_t> &misses)
+timeSweep(unsigned jobs, std::vector<CellCounts> &counts)
 {
     SweepRunner runner(jobs);
     auto t0 = std::chrono::steady_clock::now();
-    misses = runner.map(kCells, runCell);
+    counts = runner.map(kCells, runCell);
     auto t1 = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(t1 - t0).count();
 }
@@ -67,29 +91,61 @@ int
 main()
 {
     bench::banner("micro_sweep_throughput",
-                  "SweepRunner cells/sec, serial vs parallel");
+                  "simulated accesses/sec and SweepRunner cells/sec");
 
     const unsigned jobs = SweepRunner::defaultJobs();
     std::printf("cells: %zu   parallel jobs: %u (FS_JOBS)\n\n",
                 kCells, jobs);
 
-    std::vector<std::uint64_t> serial_misses;
-    std::vector<std::uint64_t> parallel_misses;
-    double t_serial = timeSweep(1, serial_misses);
-    double t_parallel = timeSweep(jobs, parallel_misses);
+    std::vector<CellCounts> serial_counts;
+    std::vector<CellCounts> parallel_counts;
+    double t_serial = timeSweep(1, serial_counts);
+    double t_parallel = timeSweep(jobs, parallel_counts);
 
-    bool identical = serial_misses == parallel_misses;
+    bool identical = serial_counts == parallel_counts;
+    std::uint64_t total_accesses = 0;
+    for (const CellCounts &c : serial_counts)
+        total_accesses += c.accesses;
+    double serial_aps = total_accesses / t_serial;
 
-    TablePrinter table({"mode", "jobs", "seconds", "cells/sec"});
+    TablePrinter table({"mode", "jobs", "seconds", "cells/sec",
+                        "accesses/sec"});
     table.addRow({"serial", "1", TablePrinter::num(t_serial, 2),
-                  TablePrinter::num(kCells / t_serial, 2)});
+                  TablePrinter::num(kCells / t_serial, 2),
+                  TablePrinter::num(serial_aps, 0)});
     table.addRow({"parallel", strprintf("%u", jobs),
                   TablePrinter::num(t_parallel, 2),
-                  TablePrinter::num(kCells / t_parallel, 2)});
+                  TablePrinter::num(kCells / t_parallel, 2),
+                  TablePrinter::num(total_accesses / t_parallel, 0)});
     table.print(std::cout);
 
     std::printf("\nspeedup: %.2fx   per-cell results identical: "
                 "%s\n", t_serial / t_parallel,
                 identical ? "yes" : "NO (BUG)");
+
+    // Machine-readable drop for scripts/bench_baseline.sh and CI.
+    if (const char *path = std::getenv("FS_BENCH_JSON")) {
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write FS_BENCH_JSON=%s\n",
+                         path);
+            return 1;
+        }
+        JsonWriter json(os);
+        json.field("bench", "micro_sweep_throughput");
+        json.field("cells", std::uint64_t{kCells});
+        json.field("scale", bench::scale());
+        json.field("jobs", std::uint64_t{jobs});
+        json.field("total_accesses", total_accesses);
+        json.field("serial_seconds", t_serial);
+        json.field("parallel_seconds", t_parallel);
+        json.field("accesses_per_sec_serial", serial_aps);
+        json.field("cells_per_sec_serial", kCells / t_serial);
+        json.field("cells_per_sec_parallel", kCells / t_parallel);
+        json.field("speedup", t_serial / t_parallel);
+        json.field("identical", identical);
+        json.finish();
+        os << "\n";
+    }
     return identical ? 0 : 1;
 }

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Microbenchmark: the tag-lookup path (google-benchmark).
+ *
+ * TagStore::lookup() runs once per simulated access — it is the
+ * single hottest operation in the codebase, and the reason the tag
+ * store keeps its address index in a flat open-addressing table
+ * (see docs/PERF.md). The benches measure steady-state lookups that
+ * hit, lookups that miss, and the install/evict churn a full cache
+ * sustains, over footprints from cache-resident to DRAM-resident.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cache/tag_store.hh"
+#include "common/random.hh"
+
+using namespace fscache;
+
+namespace
+{
+
+/** Addresses resident in a store of `lines` slots, all installed. */
+std::vector<Addr>
+fillStore(TagStore &tags, LineId lines, Rng &rng)
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(lines);
+    while (addrs.size() < lines) {
+        Addr a = rng() >> 8; // spread over 56 bits of address space
+        if (tags.lookup(a) != kInvalidLine)
+            continue;
+        LineId slot = tags.popFree();
+        tags.install(slot, a, 0);
+        addrs.push_back(a);
+    }
+    return addrs;
+}
+
+void
+benchLookupHit(benchmark::State &state)
+{
+    auto lines = static_cast<LineId>(state.range(0));
+    TagStore tags(lines);
+    Rng rng(42);
+    std::vector<Addr> addrs = fillStore(tags, lines, rng);
+
+    // Visit resident addresses in a shuffled order so the probe
+    // sequence, not one cached slot, is measured.
+    std::vector<std::uint32_t> order(addrs.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (std::uint32_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.lookup(addrs[order[cursor]]));
+        if (++cursor == order.size())
+            cursor = 0;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+benchLookupMiss(benchmark::State &state)
+{
+    auto lines = static_cast<LineId>(state.range(0));
+    TagStore tags(lines);
+    Rng rng(43);
+    fillStore(tags, lines, rng);
+
+    // Fresh random addresses virtually never collide with the 56-bit
+    // resident set, so every lookup is a miss probing a full table.
+    Rng probe(44);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tags.lookup(probe() >> 8));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+benchInstallEvictChurn(benchmark::State &state)
+{
+    auto lines = static_cast<LineId>(state.range(0));
+    TagStore tags(lines);
+    Rng rng(45);
+    std::vector<Addr> addrs = fillStore(tags, lines, rng);
+
+    // Steady state of a full cache: evict a pseudo-random resident
+    // line, install a fresh address in its place.
+    LineId victim = 0;
+    for (auto _ : state) {
+        Addr old_addr = tags.line(victim).addr;
+        tags.evict(victim);
+        Addr fresh = rng() >> 8;
+        if (tags.lookup(fresh) != kInvalidLine)
+            fresh = old_addr; // vanishing collision odds; reuse
+        LineId slot = tags.popFree();
+        tags.install(slot, fresh, 0);
+        victim = static_cast<LineId>((victim + 0x9e37u) % lines);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+} // namespace
+
+BENCHMARK(benchLookupHit)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+BENCHMARK(benchLookupMiss)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+BENCHMARK(benchInstallEvictChurn)->Arg(1 << 15);
+
+BENCHMARK_MAIN();

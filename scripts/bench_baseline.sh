@@ -1,0 +1,133 @@
+#!/bin/sh
+# Gate the access-engine throughput against the committed baseline.
+#
+# Usage:
+#   scripts/bench_baseline.sh [--capture] [--runs N] [build_dir]
+#
+#   --capture     re-measure and rewrite bench/BENCH_access_engine.json's
+#                 baseline number instead of checking against it
+#   --runs N      measurement repetitions (default: runs_per_measurement
+#                 from the baseline file); the best run is used, which
+#                 damps scheduler noise on shared machines
+#   --out FILE    also write a measured-summary JSON (per-run values,
+#                 best, baseline, tolerance) — CI uploads this as the
+#                 throughput artifact
+#   build_dir     directory holding bench/micro_sweep_throughput
+#                 (default: build)
+#
+# Check mode runs bench/micro_sweep_throughput serially (FS_JOBS=1)
+# N times, takes the best accesses_per_sec_serial, and fails when it
+# falls more than `tolerance` (default 25%) below the committed
+# baseline. The tolerance absorbs machine-to-machine variance while
+# still catching the order-of-magnitude regressions a hot-path
+# change can introduce; bit-identity of outputs is gated separately
+# by the golden tests (tests/golden/).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+baseline_file="bench/BENCH_access_engine.json"
+capture=0
+runs=""
+out=""
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --capture) capture=1; shift ;;
+      --runs) runs="$2"; shift 2 ;;
+      --out) out="$2"; shift 2 ;;
+      -h|--help) sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+      *) break ;;
+    esac
+done
+
+build_dir="${1:-build}"
+bench="$build_dir/bench/micro_sweep_throughput"
+
+if [ ! -x "$bench" ]; then
+    echo "bench_baseline: $bench not built" >&2
+    echo "  cmake -B $build_dir -S . -DCMAKE_BUILD_TYPE=Release && \\" >&2
+    echo "  cmake --build $build_dir --target micro_sweep_throughput" >&2
+    exit 2
+fi
+
+if [ -z "$runs" ]; then
+    runs=$(python3 -c "
+import json
+print(json.load(open('$baseline_file')).get('runs_per_measurement', 3))")
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+best=""
+values=""
+i=1
+while [ "$i" -le "$runs" ]; do
+    FS_BENCH_JSON="$tmpdir/run$i.json" FS_JOBS=1 "$bench" \
+        > "$tmpdir/run$i.log" 2>&1 || {
+        echo "bench_baseline: bench run failed:" >&2
+        cat "$tmpdir/run$i.log" >&2
+        exit 2
+    }
+    v=$(python3 -c "
+import json
+print(json.load(open('$tmpdir/run$i.json'))['accesses_per_sec_serial'])")
+    echo "bench_baseline: run $i/$runs: $v accesses/sec"
+    best=$(python3 -c "print(max($v, ${best:-0}))")
+    values="$values $v"
+    i=$((i + 1))
+done
+echo "bench_baseline: best of $runs: $best accesses/sec"
+
+if [ -n "$out" ]; then
+    python3 - "$baseline_file" "$out" "$best" $values <<'EOF'
+import json, sys
+baseline_path, out_path, best = sys.argv[1], sys.argv[2], float(sys.argv[3])
+doc = json.load(open(baseline_path))
+summary = {
+    "bench": doc.get("bench", "micro_sweep_throughput"),
+    "metric": doc.get("metric", "accesses_per_sec_serial"),
+    "runs": [float(v) for v in sys.argv[4:]],
+    "best": best,
+    "baseline": doc["baseline"]["accesses_per_sec_serial"],
+    "tolerance": doc.get("tolerance", 0.25),
+}
+with open(out_path, "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+EOF
+    echo "bench_baseline: wrote measured summary to $out"
+fi
+
+if [ "$capture" = 1 ]; then
+    python3 - "$baseline_file" "$best" <<'EOF'
+import json, sys
+path, best = sys.argv[1], float(sys.argv[2])
+with open(path) as f:
+    doc = json.load(f)
+doc["baseline"]["accesses_per_sec_serial"] = round(best, 1)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF
+    echo "bench_baseline: captured baseline into $baseline_file"
+    exit 0
+fi
+
+python3 - "$baseline_file" "$best" <<'EOF'
+import json, sys
+path, best = sys.argv[1], float(sys.argv[2])
+doc = json.load(open(path))
+baseline = doc["baseline"]["accesses_per_sec_serial"]
+tol = doc.get("tolerance", 0.25)
+floor = baseline * (1.0 - tol)
+print(f"bench_baseline: baseline {baseline:.0f}, tolerance {tol:.0%}, "
+      f"floor {floor:.0f}")
+if best < floor:
+    print(f"bench_baseline: FAIL — measured {best:.0f} accesses/sec is "
+          f"more than {tol:.0%} below the baseline", file=sys.stderr)
+    sys.exit(1)
+print(f"bench_baseline: OK — measured {best:.0f} accesses/sec")
+EOF

@@ -6,21 +6,13 @@ namespace fscache
 {
 
 TagStore::TagStore(LineId num_lines)
-    : numLines_(num_lines), lines_(num_lines)
+    : numLines_(num_lines), lines_(num_lines), byAddr_(num_lines)
 {
     fs_assert(num_lines > 0, "tag store needs at least one line");
-    byAddr_.reserve(num_lines * 2);
     freeList_.reserve(num_lines);
     // Pop order is highest slot first; immaterial, but deterministic.
     for (LineId id = 0; id < num_lines; ++id)
         freeList_.push_back(id);
-}
-
-LineId
-TagStore::lookup(Addr addr) const
-{
-    auto it = byAddr_.find(addr);
-    return it == byAddr_.end() ? kInvalidLine : it->second;
 }
 
 void
@@ -35,12 +27,11 @@ TagStore::install(LineId id, Addr addr, PartId part)
 {
     Line &l = lines_[id];
     fs_assert(!l.valid, "install into a valid slot");
-    fs_assert(byAddr_.find(addr) == byAddr_.end(),
-              "address already cached");
     l.addr = addr;
     l.part = part;
     l.valid = true;
-    byAddr_.emplace(addr, id);
+    // insert() asserts the address was absent.
+    byAddr_.insert(addr, id);
     growPart(part);
     ++partSize_[part];
     ++validCount_;
@@ -67,7 +58,9 @@ TagStore::move(LineId from, LineId to)
     Line &dst = lines_[to];
     fs_assert(src.valid && !dst.valid, "bad relocation");
     dst = src;
-    byAddr_[dst.addr] = to;
+    LineId *slot = byAddr_.find(dst.addr);
+    fs_assert(slot != nullptr, "relocating an untracked address");
+    *slot = to;
     src.valid = false;
     src.addr = kInvalidAddr;
     src.part = kInvalidPart;

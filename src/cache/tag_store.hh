@@ -14,10 +14,10 @@
 #define FSCACHE_CACHE_TAG_STORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/line.hh"
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace fscache
@@ -33,8 +33,18 @@ class TagStore
 
     const Line &line(LineId id) const { return lines_[id]; }
 
-    /** Slot holding addr, or kInvalidLine. */
-    LineId lookup(Addr addr) const;
+    /**
+     * Slot holding addr, or kInvalidLine. Runs once per simulated
+     * access — the byAddr_ index is a flat open-addressing table
+     * (common/flat_map.hh) precisely to keep this probe allocation-
+     * free and pointer-chase-free.
+     */
+    LineId
+    lookup(Addr addr) const
+    {
+        const LineId *slot = byAddr_.find(addr);
+        return slot == nullptr ? kInvalidLine : *slot;
+    }
 
     /** Install addr into an invalid slot. */
     void install(LineId id, Addr addr, PartId part);
@@ -72,7 +82,7 @@ class TagStore
 
     LineId numLines_;
     std::vector<Line> lines_;
-    std::unordered_map<Addr, LineId> byAddr_;
+    FlatMap<LineId> byAddr_;
     std::vector<std::uint32_t> partSize_;
     std::vector<LineId> freeList_;
     LineId validCount_ = 0;

@@ -1,5 +1,7 @@
 #include "cache/zcache_array.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "common/random.hh"
 
@@ -29,6 +31,19 @@ ZCacheArray::ZCacheArray(LineId num_lines, std::uint32_t banks,
         level_count *= banks_ - 1;
     }
     nominalCandidates_ = static_cast<std::uint32_t>(r);
+
+    parent_.resize(num_lines, kInvalidLine);
+    walkGen_.resize(num_lines, 0);
+}
+
+bool
+ZCacheArray::visit(LineId slot, LineId parent)
+{
+    if (walkGen_[slot] == curGen_)
+        return false;
+    walkGen_[slot] = curGen_;
+    parent_[slot] = parent;
+    return true;
 }
 
 LineId
@@ -42,22 +57,27 @@ void
 ZCacheArray::collectCandidates(Addr addr, std::vector<LineId> &out)
 {
     out.clear();
-    parent_.clear();
+    // New walk generation; on wrap, invalidate every stale stamp so
+    // a slot last visited 2^32 walks ago cannot alias the new one.
+    if (++curGen_ == 0) {
+        std::fill(walkGen_.begin(), walkGen_.end(), 0u);
+        curGen_ = 1;
+    }
 
     // Breadth-first walk. parent_[slot] records how the walk reached
     // the slot so makeRoom can relocate the chain.
-    std::vector<LineId> frontier;
+    frontier_.clear();
     for (std::uint32_t b = 0; b < banks_; ++b) {
         LineId slot = slotFor(addr, b);
-        if (parent_.emplace(slot, kInvalidLine).second) {
+        if (visit(slot, kInvalidLine)) {
             out.push_back(slot);
-            frontier.push_back(slot);
+            frontier_.push_back(slot);
         }
     }
 
     for (std::uint32_t level = 1; level < levels_; ++level) {
-        std::vector<LineId> next;
-        for (LineId parent_slot : frontier) {
+        nextFrontier_.clear();
+        for (LineId parent_slot : frontier_) {
             const Line &l = tags_.line(parent_slot);
             if (!l.valid)
                 continue;
@@ -66,13 +86,13 @@ ZCacheArray::collectCandidates(Addr addr, std::vector<LineId> &out)
                 if (b == home_bank)
                     continue;
                 LineId slot = slotFor(l.addr, b);
-                if (parent_.emplace(slot, parent_slot).second) {
+                if (visit(slot, parent_slot)) {
                     out.push_back(slot);
-                    next.push_back(slot);
+                    nextFrontier_.push_back(slot);
                 }
             }
         }
-        frontier = std::move(next);
+        std::swap(frontier_, nextFrontier_);
     }
 }
 
@@ -81,21 +101,19 @@ ZCacheArray::makeRoom(Addr incoming, LineId victim,
                       const MoveFn &on_move)
 {
     (void)incoming;
-    auto it = parent_.find(victim);
-    fs_assert(it != parent_.end(),
+    fs_assert(walkGen_[victim] == curGen_,
               "makeRoom victim %u not in last candidate walk", victim);
 
     // Shift each ancestor one step toward the victim slot. Every
     // move lands the ancestor's address in a slot it hashes to.
     LineId hole = victim;
-    while (it->second != kInvalidLine) {
-        LineId parent_slot = it->second;
+    while (parent_[hole] != kInvalidLine) {
+        LineId parent_slot = parent_[hole];
         tags_.move(parent_slot, hole);
         if (on_move)
             on_move(parent_slot, hole);
         hole = parent_slot;
-        it = parent_.find(hole);
-        fs_assert(it != parent_.end(), "broken walk chain");
+        fs_assert(walkGen_[hole] == curGen_, "broken walk chain");
     }
     return hole;
 }

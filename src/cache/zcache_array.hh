@@ -17,7 +17,6 @@
 #define FSCACHE_CACHE_ZCACHE_ARRAY_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_array.hh"
@@ -55,14 +54,27 @@ class ZCacheArray : public CacheArray
   private:
     LineId slotFor(Addr addr, std::uint32_t bank) const;
 
+    /** Mark a slot visited by the current walk; false if already. */
+    bool visit(LineId slot, LineId parent);
+
     std::uint32_t banks_;
     std::uint32_t levels_;
     std::uint32_t nominalCandidates_;
     LineId bankLines_;
     std::vector<std::unique_ptr<IndexHash>> hashes_;
 
-    /** Walk parents from the last collectCandidates call. */
-    std::unordered_map<LineId, LineId> parent_;
+    /**
+     * Walk parents from the last collectCandidates call, indexed by
+     * slot and generation-stamped: a slot belongs to the current
+     * walk iff walkGen_[slot] == curGen_, so resetting between
+     * walks is a counter bump instead of a hash-map clear (this
+     * runs on every miss).
+     */
+    std::vector<LineId> parent_;
+    std::vector<std::uint32_t> walkGen_;
+    std::uint32_t curGen_ = 0;
+    std::vector<LineId> frontier_;
+    std::vector<LineId> nextFrontier_;
 };
 
 } // namespace fscache

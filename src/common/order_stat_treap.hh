@@ -15,12 +15,21 @@
  * then size() - countLess(k), and the least useful line is minKey().
  * Keys must be unique; callers guarantee this by keying on strictly
  * monotonic access counters (ties broken by line id where needed).
+ *
+ * Hot-path design (see docs/PERF.md): every mutation is iterative —
+ * the simulator calls insert/erase/reKey once or twice per cache
+ * access, and recursion was measurably slower and stack-bounded on
+ * deep unlucky treaps. reKey() relocates a node without releasing
+ * it, and the minimum is cached so worstIn-style queries are O(1);
+ * only erasing the current minimum pays one leftmost re-descent.
  */
 
 #ifndef FSCACHE_COMMON_ORDER_STAT_TREAP_HH
 #define FSCACHE_COMMON_ORDER_STAT_TREAP_HH
 
 #include <cstdint>
+#include <iterator>
+#include <type_traits>
 #include <vector>
 
 #include "common/log.hh"
@@ -52,10 +61,61 @@ class OrderStatTreap
     void
     insert(const Key &key)
     {
-        std::uint32_t node = allocNode(key);
-        std::uint32_t lo, hi;
-        split(root_, key, lo, hi);
-        root_ = merge(merge(lo, node), hi);
+        insertNode(allocNode(key));
+    }
+
+    /**
+     * Build the treap from strictly ascending keys in O(n),
+     * replacing n sequential insert() calls during bulk loads
+     * (trace-generator prewarm is the motivating case — see
+     * docs/PERF.md). One priority is drawn per key in key order,
+     * exactly as n insert() calls would, so the resulting tree —
+     * shape, pool layout and rng state — is identical to the
+     * sequential build; only the n O(log n) descents are gone.
+     * The treap must be empty (pool reuse after clear() is fine).
+     */
+    template <typename It>
+    void
+    buildFromSorted(It first, It last)
+    {
+        fs_assert(root_ == kNil, "buildFromSorted on non-empty "
+                  "treap");
+        if constexpr (std::is_base_of_v<
+                          std::random_access_iterator_tag,
+                          typename std::iterator_traits<
+                              It>::iterator_category>) {
+            nodes_.reserve(nodes_.size() + (last - first));
+        }
+        // Rightmost spine, top of stack = deepest. Each new key is
+        // the largest so far: pop spine nodes with smaller priority
+        // (they become its left subtree), then attach it below the
+        // remaining spine. Sizes are finalized at pop time — a
+        // popped node's subtree never changes again.
+        scratch_.clear();
+        for (It it = first; it != last; ++it) {
+            fs_assert(scratch_.empty() ||
+                          nodes_[scratch_.back()].key < *it,
+                      "buildFromSorted keys not ascending");
+            std::uint32_t node = allocNode(*it);
+            std::uint32_t popped = kNil;
+            while (!scratch_.empty() &&
+                   nodes_[scratch_.back()].prio <
+                       nodes_[node].prio) {
+                popped = scratch_.back();
+                scratch_.pop_back();
+                pull(popped);
+            }
+            nodes_[node].left = popped;
+            if (scratch_.empty())
+                root_ = node;
+            else
+                nodes_[scratch_.back()].right = node;
+            scratch_.push_back(node);
+        }
+        for (auto it = scratch_.rbegin(); it != scratch_.rend();
+             ++it)
+            pull(*it);
+        recomputeMin();
     }
 
     /**
@@ -66,9 +126,94 @@ class OrderStatTreap
     void
     erase(const Key &key)
     {
-        bool erased = false;
-        root_ = eraseRec(root_, key, erased);
-        fs_assert(erased, "erase of absent key");
+        std::uint32_t node = detach(key);
+        fs_assert(node != kNil, "erase of absent key");
+        freeList_.push_back(node);
+    }
+
+    /**
+     * Insert a key known to exceed every stored key. Equivalent to
+     * insert() (the resulting tree is identical node for node), but
+     * the displaced subtree needs no split — every displaced key is
+     * smaller, so the whole subtree becomes the new node's left
+     * child. Monotonic-clock callers (LRU-style rankings, the
+     * stack-distance trace stack) sit on this path every access.
+     */
+    void
+    insertMax(const Key &key)
+    {
+        // Debug-only: the check is an O(log n) right-spine walk,
+        // i.e. as expensive as the split this path exists to skip.
+#ifndef NDEBUG
+        fs_assert(root_ == kNil || !(key < maxKey()),
+                  "insertMax key is not the maximum");
+#endif
+        insertMaxNode(allocNode(key));
+    }
+
+    /**
+     * Move a present key to a new (absent) key in one operation:
+     * the node is detached and relinked without touching the free
+     * list or drawing a fresh priority. This is the hit path of
+     * every exact ranking (LRU rekeys a line to the newest key on
+     * each touch).
+     */
+    void
+    reKey(const Key &old_key, const Key &new_key)
+    {
+        std::uint32_t node = detach(old_key);
+        fs_assert(node != kNil, "reKey of absent key");
+        Node &n = nodes_[node];
+        n.key = new_key;
+        n.left = kNil;
+        n.right = kNil;
+        n.size = 1;
+        insertNode(node);
+    }
+
+    /** reKey() where new_key is known to exceed every stored key. */
+    void
+    reKeyToMax(const Key &old_key, const Key &new_key)
+    {
+        std::uint32_t node = detach(old_key);
+        fs_assert(node != kNil, "reKeyToMax of absent key");
+#ifndef NDEBUG
+        fs_assert(root_ == kNil || !(new_key < maxKey()),
+                  "reKeyToMax key is not the maximum");
+#endif
+        Node &n = nodes_[node];
+        n.key = new_key;
+        n.left = kNil;
+        n.right = kNil;
+        n.size = 1;
+        insertMaxNode(node);
+    }
+
+    /**
+     * Detach the k-th smallest key (0-based) and relink its node
+     * under make_key(old_key), which must exceed every stored key;
+     * returns the detached key. One rank descent replaces the
+     * kth() + reKey() pair on the trace generator's re-reference
+     * path (the new key is derived from the old one there, hence
+     * the callable).
+     */
+    template <typename MakeKey>
+    Key
+    reKeyKthToMax(std::uint32_t k, MakeKey make_key)
+    {
+        std::uint32_t node = detachKthNode(k);
+        Node &n = nodes_[node];
+        Key old_key = n.key;
+        n.key = make_key(old_key);
+#ifndef NDEBUG
+        fs_assert(root_ == kNil || !(n.key < maxKey()),
+                  "reKeyKthToMax key is not the maximum");
+#endif
+        n.left = kNil;
+        n.right = kNil;
+        n.size = 1;
+        insertMaxNode(node);
+        return old_key;
     }
 
     /** True iff the key is present. */
@@ -115,15 +260,15 @@ class OrderStatTreap
         return size() - countLess(key);
     }
 
-    /** Smallest key (the least useful line). Treap must be non-empty. */
+    /**
+     * Smallest key (the least useful line). Treap must be non-empty.
+     * O(1): the minimum is cached across mutations.
+     */
     Key
     minKey() const
     {
         fs_assert(root_ != kNil, "minKey on empty treap");
-        std::uint32_t node = root_;
-        while (nodes_[node].left != kNil)
-            node = nodes_[node].left;
-        return nodes_[node].key;
+        return nodes_[minNode_].key;
     }
 
     /** Largest key (the most useful line). Treap must be non-empty. */
@@ -156,13 +301,30 @@ class OrderStatTreap
         }
     }
 
-    /** Remove everything (pool is retained for reuse). */
+    /**
+     * Remove everything. The node pool is retained: every slot goes
+     * back on the free list and the arrays keep their size, so a
+     * clear + refill cycle performs no allocation (and no pool
+     * shrink — see poolSize()).
+     */
     void
     clear()
     {
-        nodes_.clear();
-        freeList_.clear();
+        auto pool = static_cast<std::uint32_t>(nodes_.size());
+        freeList_.resize(pool);
+        // Pop order is back-first; hand out node 0 first, matching
+        // a freshly built treap.
+        for (std::uint32_t i = 0; i < pool; ++i)
+            freeList_[i] = pool - 1 - i;
         root_ = kNil;
+        minNode_ = kNil;
+    }
+
+    /** Nodes ever allocated (pool size, survives clear()). */
+    std::uint32_t
+    poolSize() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
     }
 
   private:
@@ -210,26 +372,172 @@ class OrderStatTreap
         return idx;
     }
 
-    /** Split by key: lo gets keys < key, hi gets keys >= key. */
+    /** Re-descend to the leftmost node to refresh the cached min. */
     void
-    split(std::uint32_t node, const Key &key, std::uint32_t &lo,
-          std::uint32_t &hi)
+    recomputeMin()
     {
+        std::uint32_t node = root_;
         if (node == kNil) {
-            lo = kNil;
-            hi = kNil;
+            minNode_ = kNil;
             return;
         }
-        if (nodes_[node].key < key) {
-            split(nodes_[node].right, key, nodes_[node].right, hi);
-            lo = node;
-        } else {
-            split(nodes_[node].left, key, lo, nodes_[node].left);
-            hi = node;
-        }
-        pull(node);
+        while (nodes_[node].left != kNil)
+            node = nodes_[node].left;
+        minNode_ = node;
     }
 
+    /**
+     * Link a detached node (fields key/prio set, children nil) into
+     * the tree: descend by priority, then split the displaced
+     * subtree under the new node. Iterative throughout.
+     */
+    void
+    insertNode(std::uint32_t node)
+    {
+        const Key &key = nodes_[node].key;
+        std::uint32_t *link = &root_;
+        path_.clear();
+        while (*link != kNil &&
+               nodes_[*link].prio > nodes_[node].prio) {
+            std::uint32_t n = *link;
+            path_.push_back(n);
+            link = key < nodes_[n].key ? &nodes_[n].left
+                                       : &nodes_[n].right;
+        }
+        std::uint32_t displaced = *link;
+        *link = node;
+        splitInto(displaced, key, nodes_[node].left,
+                  nodes_[node].right);
+        pull(node);
+        for (auto it = path_.rbegin(); it != path_.rend(); ++it)
+            pull(*it);
+        if (minNode_ == kNil || key < nodes_[minNode_].key)
+            minNode_ = node;
+    }
+
+    /**
+     * insertNode() for a node whose key exceeds every stored key:
+     * the priority descent only ever goes right, and the displaced
+     * subtree is adopted whole as the left child (splitting it by a
+     * key larger than all of its keys would move every node to the
+     * low side anyway). Produces the identical tree.
+     */
+    void
+    insertMaxNode(std::uint32_t node)
+    {
+        std::uint32_t *link = &root_;
+        path_.clear();
+        while (*link != kNil &&
+               nodes_[*link].prio > nodes_[node].prio) {
+            std::uint32_t n = *link;
+            path_.push_back(n);
+            link = &nodes_[n].right;
+        }
+        nodes_[node].left = *link;
+        *link = node;
+        pull(node);
+        for (auto it = path_.rbegin(); it != path_.rend(); ++it)
+            pull(*it);
+        if (minNode_ == kNil)
+            minNode_ = node;
+    }
+
+    /**
+     * Unlink and return the node holding the k-th smallest key
+     * (0-based, must be < size()). Same unlink as detach(), reached
+     * by one rank descent instead of a kth() lookup followed by a
+     * key descent.
+     */
+    std::uint32_t
+    detachKthNode(std::uint32_t k)
+    {
+        fs_assert(k < size(), "detachKthNode out of range");
+        std::uint32_t *link = &root_;
+        path_.clear();
+        while (true) {
+            std::uint32_t n = *link;
+            std::uint32_t left = count(nodes_[n].left);
+            if (k < left) {
+                path_.push_back(n);
+                link = &nodes_[n].left;
+            } else if (k == left) {
+                *link = merge(nodes_[n].left, nodes_[n].right);
+                for (auto it = path_.rbegin(); it != path_.rend();
+                     ++it)
+                    pull(*it);
+                if (n == minNode_)
+                    recomputeMin();
+                return n;
+            } else {
+                k -= left + 1;
+                path_.push_back(n);
+                link = &nodes_[n].right;
+            }
+        }
+    }
+
+    /**
+     * Unlink and return the node holding `key` (kNil when absent).
+     * The node keeps its key/prio; callers relink or free it.
+     */
+    std::uint32_t
+    detach(const Key &key)
+    {
+        std::uint32_t *link = &root_;
+        path_.clear();
+        while (*link != kNil) {
+            std::uint32_t n = *link;
+            if (key < nodes_[n].key) {
+                path_.push_back(n);
+                link = &nodes_[n].left;
+            } else if (nodes_[n].key < key) {
+                path_.push_back(n);
+                link = &nodes_[n].right;
+            } else {
+                *link = merge(nodes_[n].left, nodes_[n].right);
+                for (auto it = path_.rbegin(); it != path_.rend();
+                     ++it)
+                    pull(*it);
+                if (n == minNode_)
+                    recomputeMin();
+                return n;
+            }
+        }
+        return kNil;
+    }
+
+    /**
+     * Split by key into two trees: lo gets keys < key, hi gets
+     * keys >= key, written through the given links. Iterative: the
+     * descent threads the two result spines, sizes are fixed
+     * bottom-up afterwards.
+     */
+    void
+    splitInto(std::uint32_t node, const Key &key, std::uint32_t &lo,
+              std::uint32_t &hi)
+    {
+        std::uint32_t *lo_link = &lo;
+        std::uint32_t *hi_link = &hi;
+        scratch_.clear();
+        while (node != kNil) {
+            scratch_.push_back(node);
+            if (nodes_[node].key < key) {
+                *lo_link = node;
+                lo_link = &nodes_[node].right;
+                node = *lo_link;
+            } else {
+                *hi_link = node;
+                hi_link = &nodes_[node].left;
+                node = *hi_link;
+            }
+        }
+        *lo_link = kNil;
+        *hi_link = kNil;
+        for (auto it = scratch_.rbegin(); it != scratch_.rend(); ++it)
+            pull(*it);
+    }
+
+    /** Merge two trees where every key in a < every key in b. */
     std::uint32_t
     merge(std::uint32_t a, std::uint32_t b)
     {
@@ -237,39 +545,42 @@ class OrderStatTreap
             return b;
         if (b == kNil)
             return a;
-        if (nodes_[a].prio > nodes_[b].prio) {
-            nodes_[a].right = merge(nodes_[a].right, b);
-            pull(a);
-            return a;
+        std::uint32_t root = kNil;
+        std::uint32_t *link = &root;
+        scratch_.clear();
+        while (true) {
+            if (a == kNil) {
+                *link = b;
+                break;
+            }
+            if (b == kNil) {
+                *link = a;
+                break;
+            }
+            if (nodes_[a].prio > nodes_[b].prio) {
+                *link = a;
+                scratch_.push_back(a);
+                link = &nodes_[a].right;
+                a = nodes_[a].right;
+            } else {
+                *link = b;
+                scratch_.push_back(b);
+                link = &nodes_[b].left;
+                b = nodes_[b].left;
+            }
         }
-        nodes_[b].left = merge(a, nodes_[b].left);
-        pull(b);
-        return b;
-    }
-
-    std::uint32_t
-    eraseRec(std::uint32_t node, const Key &key, bool &erased)
-    {
-        if (node == kNil)
-            return kNil;
-        if (key < nodes_[node].key) {
-            nodes_[node].left = eraseRec(nodes_[node].left, key, erased);
-        } else if (nodes_[node].key < key) {
-            nodes_[node].right = eraseRec(nodes_[node].right, key, erased);
-        } else {
-            erased = true;
-            std::uint32_t replacement =
-                merge(nodes_[node].left, nodes_[node].right);
-            freeList_.push_back(node);
-            return replacement;
-        }
-        pull(node);
-        return node;
+        for (auto it = scratch_.rbegin(); it != scratch_.rend(); ++it)
+            pull(*it);
+        return root;
     }
 
     std::vector<Node> nodes_;
     std::vector<std::uint32_t> freeList_;
+    /** Descent scratch (members, so mutations never allocate). */
+    std::vector<std::uint32_t> path_;
+    std::vector<std::uint32_t> scratch_;
     std::uint32_t root_ = kNil;
+    std::uint32_t minNode_ = kNil;
     Rng rng_;
 };
 

@@ -3,21 +3,6 @@
 namespace fscache
 {
 
-std::uint64_t
-splitMix64(std::uint64_t &state)
-{
-    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-}
-
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    return splitMix64(x);
-}
-
 Rng::Rng(std::uint64_t seed_value)
 {
     seed(seed_value);

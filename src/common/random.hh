@@ -21,10 +21,22 @@ namespace fscache
 {
 
 /** One step of the SplitMix64 sequence (also usable as a mixer). */
-std::uint64_t splitMix64(std::uint64_t &state);
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
 
-/** Stateless SplitMix64 finalizer: mixes x into a well-spread value. */
-std::uint64_t mix64(std::uint64_t x);
+/** Stateless SplitMix64 finalizer: mixes x into a well-spread value.
+ *  Inline: this sits under every tag-store probe. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    return splitMix64(x);
+}
 
 /**
  * xoshiro256** pseudo-random generator.

@@ -19,6 +19,14 @@ CoarseTsLruRanking::CoarseTsLruRanking(LineId num_lines,
     fs_assert(tags != nullptr, "coarse LRU needs a tag store");
     fs_assert(ts_bits >= 1 && ts_bits <= 16, "bad timestamp width");
     fs_assert(granularity_div >= 1, "bad granularity divisor");
+    // The divisor is a runtime value (so / compiles to a real
+    // divide) but in practice always the paper's 16; divide by
+    // shifting when it is a power of two — touch() runs per access.
+    if ((granularityDiv_ & (granularityDiv_ - 1)) == 0) {
+        granShift_ = 0;
+        while ((1u << granShift_) < granularityDiv_)
+            ++granShift_;
+    }
 }
 
 CoarseTsLruRanking::PartState &
@@ -39,8 +47,10 @@ CoarseTsLruRanking::touch(LineId id, PartId part)
     // partition's *current* size so the 8-bit range always spans
     // roughly granularityDiv_ "generations" of the partition.
     ++st.accessesSinceBump;
+    std::uint32_t size = tags_->partSize(part);
     std::uint32_t k = std::max<std::uint32_t>(
-        1, tags_->partSize(part) / granularityDiv_);
+        1, granShift_ >= 0 ? size >> granShift_
+                           : size / granularityDiv_);
     if (st.accessesSinceBump >= k) {
         st.currentTs = (st.currentTs + 1) & tsMask_;
         st.accessesSinceBump = 0;
@@ -50,14 +60,14 @@ CoarseTsLruRanking::touch(LineId id, PartId part)
 void
 CoarseTsLruRanking::onInstall(LineId id, PartId part, AccessTime)
 {
-    place(id, part, ++clockShadow_);
+    placeNewest(id, part, ++clockShadow_);
     touch(id, part);
 }
 
 void
 CoarseTsLruRanking::onHit(LineId id, AccessTime)
 {
-    reKey(id, ++clockShadow_);
+    reKeyNewest(id, ++clockShadow_);
     touch(id, partOf(id));
 }
 

@@ -73,6 +73,8 @@ class CoarseTsLruRanking : public TreapRankingBase
 
     const TagStore *tags_;
     std::uint32_t granularityDiv_;
+    /** log2(granularityDiv_) when it is a power of two, else -1. */
+    std::int32_t granShift_ = -1;
     std::uint32_t tsMask_;
     std::vector<std::uint16_t> ts_;
     std::vector<PartState> parts_;

@@ -23,13 +23,13 @@ class ExactLruRanking : public TreapRankingBase
     void
     onInstall(LineId id, PartId part, AccessTime) override
     {
-        place(id, part, ++clock_);
+        placeNewest(id, part, ++clock_);
     }
 
     void
     onHit(LineId id, AccessTime) override
     {
-        reKey(id, ++clock_);
+        reKeyNewest(id, ++clock_);
     }
 
     double
@@ -37,6 +37,8 @@ class ExactLruRanking : public TreapRankingBase
     {
         return exactFutility(id);
     }
+
+    bool schemeFutilityIsExact() const override { return true; }
 
     std::string name() const override { return "lru"; }
 

@@ -59,6 +59,14 @@ class FutilityRanking
     /** Exact normalized futility rank in (0, 1]. */
     virtual double exactFutility(LineId id) const = 0;
 
+    /**
+     * True when schemeFutility() is exactFutility() bit-for-bit
+     * (idealized rankings). Lets the access miss path reuse the
+     * already-computed candidate futility for the chosen victim
+     * instead of paying a second rank query per eviction.
+     */
+    virtual bool schemeFutilityIsExact() const { return false; }
+
     /** Least useful resident line of a partition, or kInvalidLine. */
     virtual LineId worstIn(PartId part) const = 0;
 

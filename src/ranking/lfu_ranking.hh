@@ -45,6 +45,8 @@ class LfuRanking : public TreapRankingBase
         return exactFutility(id);
     }
 
+    bool schemeFutilityIsExact() const override { return true; }
+
     std::string name() const override { return "lfu"; }
 
     std::uint32_t frequency(LineId id) const { return freq_[id]; }

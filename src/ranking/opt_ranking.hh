@@ -42,6 +42,8 @@ class OptRanking : public TreapRankingBase
         return exactFutility(id);
     }
 
+    bool schemeFutilityIsExact() const override { return true; }
+
     std::string name() const override { return "opt"; }
 
   private:

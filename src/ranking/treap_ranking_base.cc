@@ -7,7 +7,7 @@ namespace fscache
 
 TreapRankingBase::TreapRankingBase(LineId num_lines)
     : keyOf_(num_lines), partOf_(num_lines, kInvalidPart),
-      present_(num_lines, false)
+      present_(num_lines, 0)
 {
 }
 
@@ -35,7 +35,7 @@ TreapRankingBase::place(LineId id, PartId part, std::uint64_t primary)
     Key key{primary, id};
     keyOf_[id] = key;
     partOf_[id] = part;
-    present_[id] = true;
+    present_[id] = 1;
     treapFor(part).insert(key);
 }
 
@@ -43,10 +43,32 @@ void
 TreapRankingBase::reKey(LineId id, std::uint64_t primary)
 {
     fs_assert(present_[id], "rekeying an absent line");
-    auto &treap = treapFor(partOf_[id]);
-    treap.erase(keyOf_[id]);
-    keyOf_[id] = Key{primary, id};
-    treap.insert(keyOf_[id]);
+    // Single treap reKey: the node is relinked in place instead of
+    // freed and reinserted (this is the per-hit path).
+    Key key{primary, id};
+    treapFor(partOf_[id]).reKey(keyOf_[id], key);
+    keyOf_[id] = key;
+}
+
+void
+TreapRankingBase::placeNewest(LineId id, PartId part,
+                              std::uint64_t primary)
+{
+    fs_assert(!present_[id], "placing an already-present line");
+    Key key{primary, id};
+    keyOf_[id] = key;
+    partOf_[id] = part;
+    present_[id] = 1;
+    treapFor(part).insertMax(key);
+}
+
+void
+TreapRankingBase::reKeyNewest(LineId id, std::uint64_t primary)
+{
+    fs_assert(present_[id], "rekeying an absent line");
+    Key key{primary, id};
+    treapFor(partOf_[id]).reKeyToMax(keyOf_[id], key);
+    keyOf_[id] = key;
 }
 
 void
@@ -54,7 +76,7 @@ TreapRankingBase::remove(LineId id)
 {
     fs_assert(present_[id], "removing an absent line");
     treapFor(partOf_[id]).erase(keyOf_[id]);
-    present_[id] = false;
+    present_[id] = 0;
     partOf_[id] = kInvalidPart;
 }
 

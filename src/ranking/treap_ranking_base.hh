@@ -67,10 +67,20 @@ class TreapRankingBase : public FutilityRanking
     /** Update a present line's usefulness (same partition). */
     void reKey(LineId id, std::uint64_t primary);
 
+    /**
+     * place()/reKey() for rankings whose primary is a strictly
+     * increasing clock drawn fresh for this call: the key is then
+     * the treap maximum, which relinks without a subtree split.
+     * Relocation/retag paths reuse *old* primaries and must stay on
+     * the generic variants.
+     */
+    void placeNewest(LineId id, PartId part, std::uint64_t primary);
+    void reKeyNewest(LineId id, std::uint64_t primary);
+
     /** Remove a present line. */
     void remove(LineId id);
 
-    bool present(LineId id) const { return present_[id]; }
+    bool present(LineId id) const { return present_[id] != 0; }
     std::uint64_t primaryOf(LineId id) const
     { return keyOf_[id].primary; }
 
@@ -81,7 +91,12 @@ class TreapRankingBase : public FutilityRanking
     std::vector<OrderStatTreap<Key>> treaps_;
     std::vector<Key> keyOf_;
     std::vector<PartId> partOf_;
-    std::vector<bool> present_;
+    /**
+     * Byte- (not bit-) backed presence flags: reKey/place/remove
+     * test this once per access, and vector<bool>'s masked bit loads
+     * cost more than the 8x memory on these hot checks.
+     */
+    std::vector<std::uint8_t> present_;
 };
 
 } // namespace fscache

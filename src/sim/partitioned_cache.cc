@@ -30,6 +30,7 @@ PartitionedCache::PartitionedCache(
     for (std::uint32_t p = 0; p < numParts_; ++p)
         deviation_.emplace_back(0.0, kDevSpan, kDevBins);
     scheme_->bind(this, numParts_);
+    schemeFutilityExact_ = ranking_->schemeFutilityIsExact();
 }
 
 void
@@ -105,7 +106,9 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
     TagStore &tags = array_->tags();
 
     LineId id = tags.lookup(addr);
-    if (id != kInvalidLine) {
+    if (id != kInvalidLine) [[likely]] {
+        // Hits dominate every workload worth simulating; keep this
+        // the fall-through arm.
         ranking_->onHit(id, next_use);
         ++stats_[part].hits;
         out.hit = true;
@@ -138,7 +141,14 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
 
         PartId owner = ranking_->partOf(victim);
         PartId tag_part = tags.line(victim).part;
-        double fut = ranking_->exactFutility(victim);
+        // With an exact ranking the candidate futility was already
+        // the exact rank (buildCandidates computed it, and the only
+        // scheme that rewrites it — Vantage's idealized mode —
+        // rewrites it *to* exactFutility), so the second rank query
+        // per eviction is skipped.
+        double fut = schemeFutilityExact_
+                         ? candBuf_[idx].futility
+                         : ranking_->exactFutility(victim);
         if (owner < numParts_) {
             assocDist_[owner].recordEviction(fut);
             ++stats_[owner].evictions;

@@ -153,6 +153,8 @@ class PartitionedCache : public PartitionOps
 
     std::vector<LineId> slotBuf_;
     CandidateVec candBuf_;
+    /** Cached ranking_->schemeFutilityIsExact() (miss-path reuse). */
+    bool schemeFutilityExact_ = false;
     std::uint32_t devSampleInterval_ = 1;
     std::uint32_t evictionsSinceSample_ = 0;
     std::uint64_t accessTick_ = 0; ///< throttles watchdog polls

@@ -1,6 +1,7 @@
 #include "trace/stack_dist_generator.hh"
 
 #include <cmath>
+#include <vector>
 
 #include "common/log.hh"
 
@@ -36,10 +37,14 @@ DepthDist::sample(Rng &rng, std::uint64_t cap) const
         break;
       case Kind::LogUniform: {
         // Draw uniformly in log space: d = min * (max/min)^U.
-        double lo = std::log(static_cast<double>(minDepth));
-        double hi = std::log(static_cast<double>(maxDepth));
-        d = static_cast<std::uint64_t>(
-            std::exp(lo + (hi - lo) * rng.uniform()));
+        if (logForMin_ != minDepth || logForMax_ != maxDepth) {
+            logMin_ = std::log(static_cast<double>(minDepth));
+            logMax_ = std::log(static_cast<double>(maxDepth));
+            logForMin_ = minDepth;
+            logForMax_ = maxDepth;
+        }
+        d = static_cast<std::uint64_t>(std::exp(
+            logMin_ + (logMax_ - logMin_) * rng.uniform()));
         break;
       }
       case Kind::Fixed:
@@ -67,11 +72,21 @@ StackDistGenerator::StackDistGenerator(const StackDistConfig &cfg,
 
     if (cfg_.prewarm) {
         // Oldest entries first, so depth d reaches address
-        // maxDepth - d initially.
+        // maxDepth - d initially. The keys a touch() loop would
+        // insert are strictly ascending (packed clock dominates)
+        // and warm <= maxResident means no evictions, so the stack
+        // can be bulk-built in O(warm) instead of warm treap
+        // descents — constructing thousands of generators per sweep
+        // made the loop the single hottest path in the benches.
         std::uint64_t warm =
             std::min(cfg_.depth.maxDepth, cfg_.maxResident);
-        for (std::uint64_t i = 0; i < warm; ++i)
-            touch(nextNewAddr_++);
+        std::vector<std::uint64_t> keys;
+        keys.reserve(warm);
+        for (std::uint64_t i = 0; i < warm; ++i) {
+            keys.push_back((++clock_ << kAddrBits) |
+                           (nextNewAddr_++ & kAddrMask));
+        }
+        stack_.buildFromSorted(keys.begin(), keys.end());
     }
 }
 
@@ -79,7 +94,9 @@ std::uint64_t
 StackDistGenerator::touch(Addr local)
 {
     std::uint64_t key = (++clock_ << kAddrBits) | (local & kAddrMask);
-    stack_.insert(key);
+    // The packed clock dominates the key, so every touch inserts
+    // the new stack maximum.
+    stack_.insertMax(key);
     if (stack_.size() > cfg_.maxResident)
         stack_.erase(stack_.minKey());
     return key;
@@ -91,15 +108,21 @@ StackDistGenerator::next()
     Addr local;
     if (stack_.empty() || rng_.chance(cfg_.pNew)) {
         local = nextNewAddr_++;
+        touch(local);
     } else {
-        // Depth d = 1 is the most recently used entry.
+        // Depth d = 1 is the most recently used entry. Moving it to
+        // the top of the stack is one rank-descent detach plus a
+        // max-key relink: no free-list churn, and size is unchanged
+        // so the maxResident bound needs no re-check. The address
+        // rides in the low bits of the detached key.
         std::uint64_t d = cfg_.depth.sample(rng_, stack_.size());
-        std::uint64_t key = stack_.kth(stack_.size() - d);
+        std::uint64_t key = stack_.reKeyKthToMax(
+            static_cast<std::uint32_t>(stack_.size() - d),
+            [this](std::uint64_t old) {
+                return (++clock_ << kAddrBits) | (old & kAddrMask);
+            });
         local = key & kAddrMask;
-        stack_.erase(key);
     }
-
-    touch(local);
 
     Access acc;
     acc.addr = baseAddr_ + local;

@@ -49,6 +49,20 @@ struct DepthDist
 
     /** Draw a depth, clamped to [1, cap]. */
     std::uint64_t sample(Rng &rng, std::uint64_t cap) const;
+
+    /**
+     * Internal: log(minDepth)/log(maxDepth), computed on first
+     * LogUniform draw and keyed on the depths they were taken from
+     * (the bounds are settable directly, so a plain "computed"
+     * flag could go stale; public only to keep the struct an
+     * aggregate). Two integer compares per draw replace two
+     * std::log calls; the cached values are bit-identical to
+     * recomputing them.
+     */
+    mutable std::uint64_t logForMin_ = 0;
+    mutable std::uint64_t logForMax_ = 0;
+    mutable double logMin_ = 0.0;
+    mutable double logMax_ = 0.0;
 };
 
 /** Configuration for StackDistGenerator. */

@@ -1,0 +1,37 @@
+# Run fscache_sim and byte-compare its JSON output against a
+# committed golden (tests/golden/). Invoked by ctest via
+#   cmake -DSIM=<sim> -DGOLDEN=<file> -DOUT=<file>
+#         -DSIM_ARGS=<semicolon-list> -P golden_check.cmake
+#
+# Byte identity (not numeric closeness) is the contract: hot-path
+# rewrites must leave every statistic in the report bit-identical,
+# and ctest runs this after every build to hold them to it. The
+# parallel variants additionally pin FS_JOBS (set as a test
+# ENVIRONMENT property) so worker scheduling cannot leak into
+# results.
+
+foreach(var SIM GOLDEN OUT SIM_ARGS)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "golden_check: missing -D${var}")
+    endif()
+endforeach()
+
+execute_process(COMMAND ${SIM} ${SIM_ARGS}
+                OUTPUT_FILE ${OUT}
+                RESULT_VARIABLE sim_rc)
+if(NOT sim_rc EQUAL 0)
+    message(FATAL_ERROR "golden_check: ${SIM} exited with ${sim_rc}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${GOLDEN} ${OUT}
+                RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "golden_check: output differs from golden\n"
+            "  golden: ${GOLDEN}\n"
+            "  actual: ${OUT}\n"
+            "If the change is intentional, regenerate the golden "
+            "with the command from tests/golden/README.md and "
+            "explain the statistic change in the commit message.")
+endif()

@@ -92,6 +92,81 @@ TEST(TagStore, PopFreeSkipsStaleEntries)
     EXPECT_EQ(slot, 2u);
 }
 
+TEST(TagStore, ChainedMovesKeepLookupConsistent)
+{
+    // zcache makeRoom relocates whole ancestor chains; the address
+    // index must track a line through several hops.
+    TagStore tags(8);
+    tags.install(1, 0x42, 0);
+    tags.move(1, 3);
+    tags.move(3, 5);
+    tags.move(5, 0);
+    EXPECT_EQ(tags.lookup(0x42), 0u);
+    EXPECT_TRUE(tags.line(0).valid);
+    EXPECT_FALSE(tags.line(1).valid);
+    EXPECT_FALSE(tags.line(3).valid);
+    EXPECT_FALSE(tags.line(5).valid);
+    EXPECT_EQ(tags.partSize(0), 1u);
+}
+
+TEST(TagStore, MoveThenRetagThenEvict)
+{
+    TagStore tags(8);
+    tags.install(2, 0x99, 1);
+    tags.move(2, 7);
+    tags.retag(7, 4);
+    EXPECT_EQ(tags.lookup(0x99), 7u);
+    EXPECT_EQ(tags.partSize(1), 0u);
+    EXPECT_EQ(tags.partSize(4), 1u);
+    tags.evict(7);
+    EXPECT_EQ(tags.lookup(0x99), kInvalidLine);
+    EXPECT_EQ(tags.partSize(4), 0u);
+    EXPECT_EQ(tags.validCount(), 0u);
+}
+
+TEST(TagStore, ReinstallSameAddressDifferentSlot)
+{
+    TagStore tags(8);
+    tags.install(0, 0x1000, 0);
+    tags.evict(0);
+    tags.install(5, 0x1000, 2);
+    EXPECT_EQ(tags.lookup(0x1000), 5u);
+    EXPECT_EQ(tags.line(5).part, 2);
+}
+
+TEST(TagStore, FullCapacityChurn)
+{
+    // Fill completely, then stream evict+reinstall cycles so the
+    // address index works at its sizing limit (every slot valid)
+    // with constant deletions — the regime where an open-addressing
+    // index with tombstones would degrade.
+    constexpr LineId kLines = 64;
+    TagStore tags(kLines);
+    for (Addr a = 0; a < kLines; ++a)
+        tags.install(static_cast<LineId>(a), 0x5000 + a, 0);
+    EXPECT_TRUE(tags.full());
+
+    Rng rng(4096);
+    std::vector<Addr> addrOf(kLines);
+    for (LineId id = 0; id < kLines; ++id)
+        addrOf[id] = 0x5000 + id;
+    for (int round = 0; round < 4000; ++round) {
+        auto id = static_cast<LineId>(rng.below(kLines));
+        tags.evict(id);
+        Addr fresh = 0x9000 + static_cast<Addr>(round);
+        tags.install(id, fresh, 0);
+        addrOf[id] = fresh;
+    }
+    EXPECT_EQ(tags.validCount(), kLines);
+    for (LineId id = 0; id < kLines; ++id) {
+        EXPECT_EQ(tags.lookup(addrOf[id]), id);
+        EXPECT_EQ(tags.line(id).addr, addrOf[id]);
+    }
+    // All original addresses were replaced and must be gone.
+    for (Addr a = 0; a < kLines; ++a)
+        EXPECT_EQ(tags.lookup(0x5000 + a), kInvalidLine);
+}
+
 TEST(SetAssoc, CandidatesAreTheSet)
 {
     SetAssocArray arr(64, 4, HashKind::Modulo, 1);

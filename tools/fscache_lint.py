@@ -31,6 +31,17 @@ float-accum
     policy hides a numerical-stability decision. Any `x += ...` where
     x is float/double must carry a policy annotation (see below).
 
+hot-path-container
+    src/cache, src/ranking and src/sim sit on the per-access hot
+    path: node-based hash containers (unordered_map/unordered_set)
+    cost a pointer chase plus an allocation per operation there, and
+    their iteration order is a latent determinism hazard. Use
+    common/flat_map.hh (open addressing, zero steady-state
+    allocation) or index-keyed vectors instead. In src/sim the
+    stricter unordered-aggregation rule already bans these
+    containers and takes precedence, so a line fires exactly one of
+    the two rules.
+
 unchecked-sto
     tools/ and bench/ must not call bare std::sto* (stoi, stoull,
     stod, ...): those accept trailing junk ("12abc" parses as 12) and
@@ -94,11 +105,12 @@ UNCHECKED_STO_PATTERN = re.compile(
 # Scopes are path prefixes relative to the scanned root.
 RANDOM_SCOPE = ("src/sim", "src/partition", "src/ranking", "src/cache")
 AGGREGATION_SCOPE = ("src/stats", "src/sim")
+HOT_PATH_SCOPE = ("src/cache", "src/ranking", "src/sim")
 ACCUM_SCOPE = ("src/stats",)
 STO_SCOPE = ("tools", "bench")
 
 ALL_RULES = ("raw-random", "wall-clock", "unordered-aggregation",
-             "float-accum", "unchecked-sto")
+             "hot-path-container", "float-accum", "unchecked-sto")
 
 DIRECTIVE_RE = re.compile(
     r"//\s*fs-lint:\s*(allow|float-accum)\(([\w-]+)\)\s*(.*)")
@@ -255,6 +267,7 @@ def check_file(root: Path, path: Path, findings: list):
 
     scoped_random = in_scope(rel, RANDOM_SCOPE)
     scoped_agg = in_scope(rel, AGGREGATION_SCOPE)
+    scoped_hot = in_scope(rel, HOT_PATH_SCOPE)
     scoped_accum = in_scope(rel, ACCUM_SCOPE)
     scoped_sto = in_scope(rel, STO_SCOPE)
 
@@ -292,6 +305,11 @@ def check_file(root: Path, path: Path, findings: list):
                    "hash-container in a result-aggregation path; "
                    "iteration order is unspecified — use std::map, "
                    "a sorted vector, or an index-keyed vector")
+        elif scoped_hot and UNORDERED_PATTERN.search(code):
+            report(no, "hot-path-container",
+                   "node-based hash container on the per-access hot "
+                   "path; use common/flat_map.hh or an index-keyed "
+                   "vector (pointer chase + allocation per op)")
         if scoped_accum:
             for m in COMPOUND_ADD_RE.finditer(code):
                 if m.group(1) in accum_names:
@@ -341,6 +359,9 @@ def self_test(repo_root: Path) -> int:
         ("src/sim/bad_clock.cc", 9, "wall-clock"),
         ("src/sim/bad_clock.cc", 12, "wall-clock"),
         ("src/sim/bad_clock.cc", 18, "wall-clock"),
+        ("src/cache/bad_container.cc", 12, "hot-path-container"),
+        ("src/cache/bad_container.cc", 13, "hot-path-container"),
+        ("src/cache/bad_container.cc", 18, "hot-path-container"),
         ("src/ranking/bad_random.cc", 8, "raw-random"),
         ("src/ranking/bad_random.cc", 12, "raw-random"),
         ("src/ranking/bad_random.cc", 15, "raw-random"),

@@ -80,6 +80,26 @@ struct CellResult
     std::unique_ptr<TimingSim> sim;
 };
 
+/**
+ * Sparse dump of a deviation histogram: non-empty bins only, as
+ * [bin, count] pairs. Pins the whole distribution (the golden
+ * byte-identity tests diff it) without 2048 mostly-zero entries.
+ */
+void
+reportDeviationHist(JsonWriter &json, const Histogram &hist)
+{
+    json.beginArray("deviation_hist");
+    for (std::uint32_t b = 0; b < hist.bins(); ++b) {
+        if (hist.binCount(b) == 0)
+            continue;
+        json.beginObject();
+        json.field("bin", std::uint64_t{b});
+        json.field("count", hist.binCount(b));
+        json.endObject();
+    }
+    json.endArray();
+}
+
 void
 reportJson(JsonWriter &json, const CellResult &cell,
            const Workload &wl, std::uint32_t threads)
@@ -97,6 +117,8 @@ reportJson(JsonWriter &json, const CellResult &cell,
         json.field("miss_ratio", cell.cache->stats(p).missRatio());
         json.field("aef", cell.cache->assocDist(p).aef());
         json.field("size_mad", cell.cache->deviation(p).mad());
+        reportDeviationHist(
+            json, cell.cache->deviation(p).deviationHistogram());
         if (cell.sim)
             json.field("ipc", cell.sim->perf(p).ipc());
         json.endObject();
