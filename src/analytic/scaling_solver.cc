@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace fscache
@@ -135,8 +136,45 @@ solveScalingFactors(const std::vector<PartitionSpec> &parts,
         for (std::size_t i = 0; i < parts.size(); ++i)
             err = std::max(err,
                            std::fabs(shares[i] - parts[i].insertion));
-        if (err < tol)
+        if (err < tol) {
+            // FS_AUDIT: the returned factors must be finite,
+            // positive, and normalized so the smallest is exactly
+            // 1.0 (initial vector, or x/x after the per-iteration
+            // renormalization — both exact in IEEE arithmetic).
+            FSCACHE_AUDIT(Cheap, {
+                double lo = *std::min_element(alphas.begin(),
+                                              alphas.end());
+                for (double a : alphas) {
+                    if (!std::isfinite(a) || a <= 0.0)
+                        check::auditFail(
+                            "scaling solver",
+                            strprintf("non-finite or non-positive "
+                                      "scaling factor %g", a));
+                }
+                if (lo != 1.0)
+                    check::auditFail(
+                        "scaling solver",
+                        strprintf("scaling factors not normalized: "
+                                  "min alpha %g != 1", lo));
+            });
+            // Paranoid: re-derive the residual from scratch — the
+            // solution must still satisfy the fixed point it claims.
+            FSCACHE_AUDIT(Paranoid, {
+                std::vector<double> recheck =
+                    evictionShares(parts, alphas, candidates);
+                for (std::size_t i = 0; i < parts.size(); ++i) {
+                    double d = std::fabs(recheck[i] -
+                                         parts[i].insertion);
+                    if (d >= tol)
+                        check::auditFail(
+                            "scaling solver",
+                            strprintf("re-derived residual %g for "
+                                      "partition %zu exceeds tol %g",
+                                      d, i, tol));
+                }
+            });
             return alphas;
+        }
         if (err < best_err) {
             best_err = err;
             best_alphas = alphas;

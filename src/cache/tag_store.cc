@@ -80,6 +80,74 @@ TagStore::retag(LineId id, PartId part)
     l.part = part;
 }
 
+std::string
+TagStore::auditInvariants() const
+{
+    std::string err = byAddr_.auditInvariants();
+    if (!err.empty())
+        return "byAddr index: " + err;
+
+    std::vector<std::uint32_t> perPart(partSize_.size(), 0);
+    LineId valid = 0;
+    for (LineId id = 0; id < numLines_; ++id) {
+        const Line &l = lines_[id];
+        if (!l.valid)
+            continue;
+        ++valid;
+        if (l.addr == kInvalidAddr) {
+            return strprintf("valid line %u carries the invalid "
+                             "address sentinel", id);
+        }
+        const LineId *slot = byAddr_.find(l.addr);
+        if (slot == nullptr) {
+            return strprintf(
+                "valid line %u (addr %llu) missing from the "
+                "address index", id,
+                static_cast<unsigned long long>(l.addr));
+        }
+        if (*slot != id) {
+            return strprintf(
+                "address %llu resolves to line %u but line %u "
+                "carries it",
+                static_cast<unsigned long long>(l.addr), *slot, id);
+        }
+        if (l.part < perPart.size())
+            ++perPart[l.part];
+        else
+            return strprintf("line %u tagged with partition %u "
+                             "beyond the occupancy vector", id,
+                             static_cast<unsigned>(l.part));
+    }
+    if (valid != validCount_) {
+        return strprintf("validCount %u but %u lines are valid",
+                         validCount_, valid);
+    }
+    if (byAddr_.size() != valid) {
+        return strprintf("address index holds %zu entries for %u "
+                         "valid lines", byAddr_.size(), valid);
+    }
+    for (std::size_t p = 0; p < perPart.size(); ++p) {
+        if (perPart[p] != partSize_[p]) {
+            return strprintf(
+                "partition %zu occupancy counter %u but %u lines "
+                "are tagged with it", p, partSize_[p], perPart[p]);
+        }
+    }
+    return std::string();
+}
+
+LineId
+TagStore::corruptAddrIndexForFaultInjection()
+{
+    for (LineId id = 0; id < numLines_; ++id) {
+        if (lines_[id].valid) {
+            byAddr_.erase(lines_[id].addr);
+            return id;
+        }
+    }
+    return kInvalidLine;
+}
+
 LineId
 TagStore::popFree()
 {

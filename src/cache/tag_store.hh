@@ -14,6 +14,7 @@
 #define FSCACHE_CACHE_TAG_STORE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/line.hh"
@@ -76,6 +77,33 @@ class TagStore
      * use this while filling). kInvalidLine when full.
      */
     LineId popFree();
+
+    /** Partition-size vector length (for occupancy audits; includes
+     *  pseudo-partitions schemes retag into, e.g. Vantage's). */
+    std::size_t partCount() const { return partSize_.size(); }
+
+    /**
+     * Structural self-audit (FS_AUDIT=paranoid; see src/check):
+     * byAddr_ internals, the line<->index bijection (every valid
+     * line's address resolves back to its slot, every index entry
+     * points at a valid line carrying that address), and the
+     * per-partition / total occupancy counters recomputed from the
+     * lines. O(lines); not for hot paths.
+     *
+     * @return "" when consistent, else the first violation found.
+     */
+    std::string auditInvariants() const;
+
+    /**
+     * Deliberately desynchronize the address index from the line
+     * array by erasing the byAddr_ entry of the first valid line
+     * (the line itself stays valid and counted). Models a flipped
+     * tag-store entry for the FS_FAULTS `cell=N:corrupt` clause —
+     * exactly the class of silent corruption the audits and the
+     * shadow model exist to catch. Returns the line whose index
+     * entry was dropped, or kInvalidLine if the store is empty.
+     */
+    LineId corruptAddrIndexForFaultInjection();
 
   private:
     void growPart(PartId part);

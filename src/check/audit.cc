@@ -1,0 +1,89 @@
+#include "check/audit.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/errors.hh"
+#include "common/log.hh"
+
+namespace fscache
+{
+namespace check
+{
+
+namespace detail
+{
+
+std::atomic<int> g_auditLevel{-1};
+std::atomic<int> g_shadowMode{-1};
+
+int
+initAuditLevel()
+{
+    // First-use parse; a race is benign (both parse the same env).
+    const char *env = std::getenv("FS_AUDIT");
+    int level = 0;
+    if (env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "off") == 0 ||
+            std::strcmp(env, "0") == 0) {
+            level = 0;
+        } else if (std::strcmp(env, "cheap") == 0 ||
+                   std::strcmp(env, "1") == 0) {
+            level = 1;
+        } else if (std::strcmp(env, "paranoid") == 0 ||
+                   std::strcmp(env, "2") == 0) {
+            level = 2;
+        } else {
+            fatal("FS_AUDIT must be off, cheap or paranoid, got "
+                  "\"%s\"", env);
+        }
+    }
+    g_auditLevel.store(level, std::memory_order_relaxed);
+    return level;
+}
+
+int
+initShadowMode()
+{
+    const char *env = std::getenv("FS_SHADOW");
+    int mode = 0;
+    if (env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "0") == 0) {
+            mode = 0;
+        } else if (std::strcmp(env, "1") == 0) {
+            mode = 1;
+        } else {
+            fatal("FS_SHADOW must be 0 or 1, got \"%s\"", env);
+        }
+    }
+    g_shadowMode.store(mode, std::memory_order_relaxed);
+    return mode;
+}
+
+} // namespace detail
+
+void
+setAuditLevelForTest(AuditLevel level)
+{
+    detail::g_auditLevel.store(static_cast<int>(level),
+                               std::memory_order_relaxed);
+}
+
+void
+setShadowModeForTest(bool enabled)
+{
+    detail::g_shadowMode.store(enabled ? 1 : 0,
+                               std::memory_order_relaxed);
+}
+
+void
+auditFail(const char *where, const std::string &detail)
+{
+    throw StateCorruptionError(
+        strprintf("state audit failed in %s", where),
+        strprintf("audit violation in %s:\n  %s", where,
+                  detail.c_str()));
+}
+
+} // namespace check
+} // namespace fscache

@@ -1,0 +1,218 @@
+#include "check/breadcrumb.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include <csignal>
+#include <unistd.h>
+
+namespace fscache
+{
+namespace check
+{
+
+namespace
+{
+
+/**
+ * Breadcrumb slots live in static storage (never freed) so the
+ * signal handler can walk them no matter which thread crashed.
+ * Slots are claimed once per thread and never recycled — worker
+ * threads here come from process-lifetime pools. Overflowing
+ * threads simply go un-crumbed.
+ */
+constexpr int kMaxSlots = 64;
+
+struct Slot
+{
+    std::atomic<bool> used{false};
+    std::atomic<std::uint64_t> cell{kNoCell};
+    std::atomic<std::uint64_t> access{0};
+    char context[160] = {0};
+};
+
+Slot g_slots[kMaxSlots];
+std::atomic<int> g_nextSlot{0};
+
+int
+claimSlot()
+{
+    int idx = g_nextSlot.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kMaxSlots)
+        return -1;
+    g_slots[idx].used.store(true, std::memory_order_release);
+    return idx;
+}
+
+Slot *
+mySlot()
+{
+    thread_local int idx = claimSlot();
+    return idx < 0 ? nullptr : &g_slots[idx];
+}
+
+// ---- async-signal-safe formatting ------------------------------
+
+void
+sink(char *buf, std::size_t cap, std::size_t &len, const char *s)
+{
+    while (*s != '\0' && len + 1 < cap)
+        buf[len++] = *s++;
+    buf[len] = '\0';
+}
+
+void
+sinkU64(char *buf, std::size_t cap, std::size_t &len,
+        std::uint64_t v)
+{
+    char digits[24];
+    int n = 0;
+    do {
+        digits[n++] = static_cast<char>('0' + v % 10);
+        v /= 10;
+    } while (v != 0);
+    while (n > 0 && len + 1 < cap)
+        buf[len++] = digits[--n];
+    buf[len] = '\0';
+}
+
+/** Format every active slot; shared by the handler and the test
+ *  renderer. Touches only the static slots and the caller's buffer. */
+std::size_t
+renderBreadcrumbs(char *buf, std::size_t cap, int sig)
+{
+    std::size_t len = 0;
+    sink(buf, cap, len, "fscache: crash breadcrumbs");
+    if (sig >= 0) {
+        sink(buf, cap, len, " (signal ");
+        sinkU64(buf, cap, len, static_cast<std::uint64_t>(sig));
+        sink(buf, cap, len, ")");
+    }
+    sink(buf, cap, len, "\n");
+    for (int i = 0; i < kMaxSlots; ++i) {
+        Slot &s = g_slots[i];
+        if (!s.used.load(std::memory_order_acquire))
+            continue;
+        std::uint64_t cell = s.cell.load(std::memory_order_relaxed);
+        if (cell == kNoCell && s.context[0] == '\0')
+            continue; // idle thread, nothing to report
+        sink(buf, cap, len, "  thread ");
+        sinkU64(buf, cap, len, static_cast<std::uint64_t>(i));
+        sink(buf, cap, len, ": cell=");
+        if (cell == kNoCell)
+            sink(buf, cap, len, "-");
+        else
+            sinkU64(buf, cap, len, cell);
+        sink(buf, cap, len, " access=");
+        sinkU64(buf, cap, len,
+                s.access.load(std::memory_order_relaxed));
+        if (s.context[0] != '\0') {
+            sink(buf, cap, len, " ");
+            sink(buf, cap, len, s.context);
+        }
+        sink(buf, cap, len, "\n");
+    }
+    return len;
+}
+
+// ---- signal handling -------------------------------------------
+
+constexpr int kSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+                            SIGABRT};
+constexpr int kNumSignals =
+    static_cast<int>(sizeof(kSignals) / sizeof(kSignals[0]));
+
+struct sigaction g_oldActions[kNumSignals];
+
+void
+crashHandler(int sig)
+{
+    char buf[4096];
+    std::size_t len = renderBreadcrumbs(buf, sizeof(buf), sig);
+    // write() can fail (EPIPE, ...); there is nothing safe to do
+    // about it inside a crash handler.
+    ssize_t ignored = write(STDERR_FILENO, buf, len);
+    (void)ignored;
+
+    // Hand the signal back: restore whatever handler was installed
+    // before ours (a sanitizer's, or SIG_DFL) and re-raise. The
+    // signal is blocked during this handler, so the re-raise is
+    // delivered to the restored handler on return.
+    for (int i = 0; i < kNumSignals; ++i) {
+        if (kSignals[i] == sig) {
+            sigaction(sig, &g_oldActions[i], nullptr);
+            break;
+        }
+    }
+    raise(sig);
+}
+
+} // namespace
+
+void
+breadcrumbSetCell(std::size_t cell)
+{
+    Slot *s = mySlot();
+    if (s != nullptr) {
+        s->cell.store(static_cast<std::uint64_t>(cell),
+                      std::memory_order_relaxed);
+        s->access.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+breadcrumbClearCell()
+{
+    Slot *s = mySlot();
+    if (s != nullptr)
+        s->cell.store(kNoCell, std::memory_order_relaxed);
+}
+
+void
+breadcrumbSetAccess(std::uint64_t access_index)
+{
+    Slot *s = mySlot();
+    if (s != nullptr)
+        s->access.store(access_index, std::memory_order_relaxed);
+}
+
+void
+breadcrumbSetContext(const char *fmt, ...)
+{
+    Slot *s = mySlot();
+    if (s == nullptr)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(s->context, sizeof(s->context), fmt, args);
+    va_end(args);
+}
+
+void
+installCrashBreadcrumbs()
+{
+    static std::atomic<bool> installed{false};
+    bool expected = false;
+    if (!installed.compare_exchange_strong(expected, true))
+        return;
+    for (int i = 0; i < kNumSignals; ++i) {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = crashHandler;
+        sigemptyset(&sa.sa_mask);
+        sigaction(kSignals[i], &sa, &g_oldActions[i]);
+    }
+}
+
+std::string
+renderBreadcrumbsForTest()
+{
+    char buf[4096];
+    std::size_t len = renderBreadcrumbs(buf, sizeof(buf), -1);
+    return std::string(buf, len);
+}
+
+} // namespace check
+} // namespace fscache

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-thread crash breadcrumbs for sweep diagnostics.
+ *
+ * A hard crash (SIGSEGV, SIGABRT from a failed fs_assert, ...) in
+ * the middle of a parallel sweep normally loses the one thing needed
+ * to resume: *which cell* was running where. Each worker thread
+ * therefore keeps a breadcrumb — current cell index, a coarse access
+ * counter, and a cell-fingerprint context string — in a fixed pool
+ * of static-storage slots, and installCrashBreadcrumbs() installs a
+ * signal handler that dumps every active slot to stderr before
+ * handing the signal back to the previous handler (sanitizer
+ * runtimes included) / the default action.
+ *
+ * The handler is async-signal-safe: it formats into a stack buffer
+ * with its own integer formatter and calls only write(2), sigaction
+ * and raise. The context string is filled outside the handler by
+ * plain snprintf; a torn read during a crash is acceptable for a
+ * best-effort diagnostic (the buffer is always NUL-terminated).
+ *
+ * Writers pay one thread-local lookup plus relaxed atomic stores;
+ * PartitionedCache only touches the access counter on its existing
+ * 1/8192-access watchdog stride.
+ */
+
+#ifndef FSCACHE_CHECK_BREADCRUMB_HH
+#define FSCACHE_CHECK_BREADCRUMB_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fscache
+{
+namespace check
+{
+
+/** No-cell sentinel for breadcrumbSetCell(). */
+inline constexpr std::uint64_t kNoCell = ~0ull;
+
+/** Record the cell this thread is about to run (cell guard). */
+void breadcrumbSetCell(std::size_t cell);
+
+/** The cell finished (ok or quarantined); clear the slot's cell. */
+void breadcrumbClearCell();
+
+/** Coarse progress marker (access index) for the current thread. */
+void breadcrumbSetAccess(std::uint64_t access_index);
+
+/**
+ * printf-style cell fingerprint (scheme/array/ranking/config) for
+ * the current thread; truncated to the slot buffer.
+ */
+void breadcrumbSetContext(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Install the crash handler for SIGSEGV/SIGBUS/SIGILL/SIGFPE/
+ * SIGABRT. Idempotent; called by the SweepRunner constructor. The
+ * previous handler for each signal is re-installed and the signal
+ * re-raised after the dump, so sanitizer reports and core dumps are
+ * preserved.
+ */
+void installCrashBreadcrumbs();
+
+/** Render active breadcrumbs like the handler would (tests). */
+std::string renderBreadcrumbsForTest();
+
+} // namespace check
+} // namespace fscache
+
+#endif // FSCACHE_CHECK_BREADCRUMB_HH

@@ -86,6 +86,33 @@ class TraceFormatError : public FsError
     }
 };
 
+/**
+ * A runtime self-check (src/check: FS_AUDIT invariant audits or the
+ * FS_SHADOW lockstep model) found the simulator's own bookkeeping
+ * inconsistent. The cell's state — and therefore any value it would
+ * produce — cannot be trusted, so the cell guard quarantines it
+ * immediately (ErrorClass::Corruption) and never retries: the same
+ * deterministic run would corrupt the same way again.
+ *
+ * report() carries the structured first-divergence / audit report
+ * (multi-line) for the failure manifest; what() is the one-line
+ * summary.
+ */
+class StateCorruptionError : public FsError
+{
+  public:
+    explicit StateCorruptionError(const std::string &what,
+                                  std::string report = std::string())
+        : FsError(what), report_(std::move(report))
+    {
+    }
+
+    const std::string &report() const { return report_; }
+
+  private:
+    std::string report_;
+};
+
 } // namespace fscache
 
 #endif // FSCACHE_COMMON_ERRORS_HH

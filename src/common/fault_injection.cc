@@ -52,6 +52,13 @@ retain(std::unique_ptr<const FaultInjector> fi)
     return retired.back().get();
 }
 
+/**
+ * Armed `cell=N:corrupt` flag. Thread-local: the fault point and
+ * the cell body run on the same worker thread, so arming cannot
+ * cross cells running concurrently on other workers.
+ */
+thread_local bool t_corruptArmed = false;
+
 } // namespace
 
 FaultInjector
@@ -110,10 +117,12 @@ FaultInjector::parse(const std::string &spec)
             c.kind = Kind::Hang;
         } else if (action == "transient") {
             c.kind = Kind::Transient;
+        } else if (action == "corrupt") {
+            c.kind = Kind::Corrupt;
         } else {
             fatal("FS_FAULTS \"%s\": unknown action \"%s\" (want "
-                  "throw, hang, or transient)", spec.c_str(),
-                  action.c_str());
+                  "throw, hang, transient, or corrupt)",
+                  spec.c_str(), action.c_str());
         }
         if (c.kind != Kind::Transient && star != std::string::npos)
             fatal("FS_FAULTS \"%s\": only transient takes an "
@@ -166,9 +175,21 @@ FaultInjector::installForTest(const std::string &spec)
     g_initialized.store(true, std::memory_order_release);
 }
 
+bool
+FaultInjector::consumeArmedCorruption()
+{
+    bool armed = t_corruptArmed;
+    t_corruptArmed = false;
+    return armed;
+}
+
 void
 FaultInjector::fire(std::size_t cell, unsigned attempt) const
 {
+    // A corruption armed for a previous cell on this worker that
+    // was never consumed (the cell ran too few accesses) must not
+    // leak into this one.
+    t_corruptArmed = false;
     for (const Clause &c : clauses_) {
         if (c.byRate) {
             // Deterministic per-cell coin: same cells fail in every
@@ -190,6 +211,11 @@ FaultInjector::fire(std::size_t cell, unsigned attempt) const
           case Kind::Throw:
             throw FsError(strprintf(
                 "injected permanent fault at cell %zu", cell));
+          case Kind::Corrupt:
+            // Silent by design: arm only; PartitionedCache flips a
+            // tag-store entry when it consumes the flag mid-cell.
+            t_corruptArmed = true;
+            break;
           case Kind::Transient:
             if (attempt < c.attempts)
                 throw TransientError(strprintf(

@@ -11,11 +11,22 @@
  *                             the FS_CELL_TIMEOUT_MS watchdog)
  *     cell=<n>:transient      TransientError at cell n, first attempt
  *     cell=<n>:transient*<k>  ... first k attempts (retry-exhaustion)
+ *     cell=<n>:corrupt        silently flip a tag-store index entry
+ *                             mid-cell (detected only by FS_AUDIT /
+ *                             FS_SHADOW; see docs/ROBUSTNESS.md)
  *     rate=<p>:transient      TransientError on a deterministic,
  *                             seed-derived fraction p of cells
  *                             (first attempt only)
  *
  * Example: FS_FAULTS="cell=7:throw;cell=9:hang;rate=0.02:transient"
+ *
+ * The corrupt clause is two-phase: fire() only *arms* a thread-
+ * local flag (it must not throw — corruption is silent by
+ * definition); PartitionedCache consumes the flag at its next
+ * watchdog stride and desynchronizes its own tag store. Arming is
+ * per-thread and fire() re-disarms at the top of every cell
+ * attempt, so a flag armed for a short cell that never consumed it
+ * cannot leak into the next cell on that worker.
  *
  * Determinism: the rate clause hashes the cell index through mix64
  * with a fixed salt — the same cells fail in every run and under
@@ -64,6 +75,13 @@ class FaultInjector
      */
     void fire(std::size_t cell, unsigned attempt) const;
 
+    /**
+     * Test-and-clear the calling thread's armed corruption flag
+     * (set by a `cell=N:corrupt` clause at that cell's fault
+     * point). Called by PartitionedCache on its watchdog stride.
+     */
+    static bool consumeArmedCorruption();
+
     bool
     empty() const
     {
@@ -76,6 +94,7 @@ class FaultInjector
         Throw,
         Hang,
         Transient,
+        Corrupt,
     };
 
     struct Clause

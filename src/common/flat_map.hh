@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/log.hh"
@@ -159,7 +160,65 @@ class FlatMap
         size_ = 0;
     }
 
+    /**
+     * Structural self-audit (FS_AUDIT=paranoid; see src/check).
+     * Verifies occupancy accounting, the load-factor bound, and —
+     * the property backward-shift deletion must preserve — that
+     * every occupied slot is reachable by linear probing from its
+     * home slot with no intervening empty slot. O(capacity * probe
+     * length); not for hot paths.
+     *
+     * @return "" when consistent, else the first violation found.
+     */
+    std::string
+    auditInvariants() const
+    {
+        std::size_t live = 0;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            std::uint64_t key = slots_[i].key;
+            if (key == kEmptyKey)
+                continue;
+            ++live;
+            // Probe-chain integrity: walking from home(key) must
+            // reach slot i before any empty slot.
+            std::size_t j = home(key);
+            std::size_t steps = 0;
+            while (j != i) {
+                if (slots_[j].key == kEmptyKey) {
+                    return strprintf(
+                        "key %llu at slot %zu unreachable: empty "
+                        "slot %zu breaks its probe chain from home "
+                        "%zu",
+                        static_cast<unsigned long long>(key), i, j,
+                        home(key));
+                }
+                if (slots_[j].key == key) {
+                    return strprintf(
+                        "duplicate key %llu at slots %zu and %zu",
+                        static_cast<unsigned long long>(key), j, i);
+                }
+                if (++steps > slots_.size())
+                    return "probe chain does not terminate";
+                j = (j + 1) & mask_;
+            }
+        }
+        if (live != size_) {
+            return strprintf("occupancy mismatch: %zu occupied "
+                             "slots vs size() %zu", live, size_);
+        }
+        if (size_ > maxEntries_) {
+            return strprintf("over capacity: %zu live keys, sized "
+                             "for %zu", size_, maxEntries_);
+        }
+        return std::string();
+    }
+
+    /** Test-only backdoor for corrupting private state (defined as
+     *  an explicit specialization by the self-check unit tests). */
+    struct TestAccess;
+
   private:
+    friend struct TestAccess;
     struct Slot
     {
         std::uint64_t key;

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <iterator>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -327,7 +328,106 @@ class OrderStatTreap
         return static_cast<std::uint32_t>(nodes_.size());
     }
 
+    /**
+     * Structural self-audit (FS_AUDIT=paranoid; see src/check).
+     * Walks the whole tree verifying the three treap invariants the
+     * fast paths (insertMax/reKeyToMax/buildFromSorted) must
+     * preserve — heap order on priorities, BST order on keys,
+     * subtree-size augmentation — plus the cached minimum, link
+     * sanity and acyclicity. O(n); not for hot paths.
+     *
+     * @return "" when consistent, else the first violation found.
+     */
+    std::string
+    auditInvariants() const
+    {
+        if (root_ == kNil) {
+            if (minNode_ != kNil)
+                return "cached min set on an empty treap";
+            return std::string();
+        }
+        if (root_ >= nodes_.size())
+            return strprintf("root index %u out of pool (%zu)",
+                             root_, nodes_.size());
+
+        // Iterative in-order walk; state 0 = descend left,
+        // 1 = visit + descend right.
+        std::vector<std::pair<std::uint32_t, int>> stack;
+        std::vector<bool> seen(nodes_.size(), false);
+        std::uint32_t visited = 0;
+        std::uint32_t prev = kNil;
+        stack.push_back({root_, 0});
+        while (!stack.empty()) {
+            auto &[node, state] = stack.back();
+            const Node &n = nodes_[node];
+            if (state == 0) {
+                state = 1;
+                if (seen[node])
+                    return strprintf("node %u linked twice (cycle "
+                                     "or shared subtree)", node);
+                seen[node] = true;
+                std::uint32_t expect = count(n.left) +
+                                       count(n.right) + 1;
+                if (n.size != expect) {
+                    return strprintf(
+                        "subtree size of node %u is %u, children "
+                        "say %u", node, n.size, expect);
+                }
+                for (std::uint32_t child : {n.left, n.right}) {
+                    if (child == kNil)
+                        continue;
+                    if (child >= nodes_.size())
+                        return strprintf("node %u links to %u, "
+                                         "outside the pool", node,
+                                         child);
+                    if (nodes_[child].prio > n.prio) {
+                        return strprintf(
+                            "heap violation: child %u has higher "
+                            "priority than parent %u", child, node);
+                    }
+                }
+                if (n.left != kNil)
+                    stack.push_back({n.left, 0});
+                continue;
+            }
+            // In-order visit: keys must be strictly increasing.
+            if (prev != kNil && !(nodes_[prev].key < n.key)) {
+                return strprintf("key order violation: node %u is "
+                                 "not greater than its in-order "
+                                 "predecessor %u", node, prev);
+            }
+            if (prev == kNil && node != minNode_) {
+                return strprintf("cached min is node %u but the "
+                                 "leftmost node is %u", minNode_,
+                                 node);
+            }
+            prev = node;
+            ++visited;
+            std::uint32_t right = n.right;
+            stack.pop_back();
+            if (right != kNil)
+                stack.push_back({right, 0});
+        }
+        if (visited != nodes_[root_].size) {
+            return strprintf("reachable node count %u != root "
+                             "subtree size %u", visited,
+                             nodes_[root_].size);
+        }
+        if (visited + freeList_.size() != nodes_.size()) {
+            return strprintf(
+                "pool accounting: %u reachable + %zu free != %zu "
+                "allocated", visited, freeList_.size(),
+                nodes_.size());
+        }
+        return std::string();
+    }
+
+    /** Test-only backdoor for corrupting private state (defined as
+     *  an explicit specialization by the self-check unit tests). */
+    struct TestAccess;
+
   private:
+    friend struct TestAccess;
     static constexpr std::uint32_t kNil = 0xffffffffu;
 
     struct Node

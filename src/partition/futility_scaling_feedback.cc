@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/audit.hh"
 #include "common/log.hh"
 
 namespace fscache
@@ -106,6 +107,27 @@ FutilityScalingFeedback::maybeAdjust(PartId part)
     }
     r.insertions = 0;
     r.evictions = 0;
+
+    // FS_AUDIT: the shift-width register and the cached factor are
+    // redundant encodings of the same state (factor ==
+    // ratio^shiftWidth); a drift between them is exactly the kind
+    // of silent bug incremental *=/'/=' updates can introduce.
+    FSCACHE_AUDIT(Cheap, {
+        if (r.shiftWidth > cfg_.maxShiftWidth)
+            check::auditFail(
+                "feedback registers",
+                strprintf("partition %u shift width %u exceeds max "
+                          "%u", part, r.shiftWidth,
+                          cfg_.maxShiftWidth));
+        double want = std::pow(cfg_.changingRatio,
+                               static_cast<double>(r.shiftWidth));
+        if (std::fabs(r.factor - want) > 1e-6 * want)
+            check::auditFail(
+                "feedback registers",
+                strprintf("partition %u factor %.17g drifted from "
+                          "ratio^width %.17g (width %u)", part,
+                          r.factor, want, r.shiftWidth));
+    });
 }
 
 } // namespace fscache

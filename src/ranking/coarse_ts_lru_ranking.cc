@@ -79,6 +79,17 @@ CoarseTsLruRanking::onRetag(LineId id, PartId new_part)
     // the new partition's clock, as they would be in hardware.
 }
 
+void
+CoarseTsLruRanking::onRelocate(LineId from, LineId to)
+{
+    TreapRankingBase::onRelocate(from, to);
+    // The timestamp is line metadata and must follow the line, or a
+    // zcache relocation leaves the moved line aged by whatever stale
+    // stamp the destination slot last held.
+    ts_[to] = ts_[from];
+    ts_[from] = 0;
+}
+
 double
 CoarseTsLruRanking::schemeFutility(LineId id) const
 {

@@ -43,6 +43,7 @@ class CoarseTsLruRanking : public TreapRankingBase
     void onInstall(LineId id, PartId part, AccessTime) override;
     void onHit(LineId id, AccessTime) override;
     void onRetag(LineId id, PartId new_part) override;
+    void onRelocate(LineId from, LineId to) override;
 
     double schemeFutility(LineId id) const override;
 

@@ -77,6 +77,15 @@ class FutilityRanking
     virtual std::uint32_t partLines(PartId part) const = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Structural self-audit (FS_AUDIT=paranoid; see src/check):
+     * verify whatever internal order structures the ranking keeps.
+     * Returns "" when consistent, else the first violation found.
+     * The default has nothing to audit.
+     */
+    virtual std::string auditInvariants() const
+    { return std::string(); }
 };
 
 } // namespace fscache

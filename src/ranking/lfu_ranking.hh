@@ -39,6 +39,17 @@ class LfuRanking : public TreapRankingBase
         reKey(id, usefulness(id));
     }
 
+    void
+    onRelocate(LineId from, LineId to) override
+    {
+        TreapRankingBase::onRelocate(from, to);
+        // The frequency is line metadata and must follow the line,
+        // or a zcache relocation leaves the moved line counting
+        // from whatever stale value the destination slot last held.
+        freq_[to] = freq_[from];
+        freq_[from] = 0;
+    }
+
     double
     schemeFutility(LineId id) const override
     {

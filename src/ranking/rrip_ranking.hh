@@ -52,6 +52,19 @@ class RripRanking : public TreapRankingBase
         reKey(id, usefulness(id));
     }
 
+    void
+    onRelocate(LineId from, LineId to) override
+    {
+        TreapRankingBase::onRelocate(from, to);
+        // RRPV and last-touch are line metadata and must follow the
+        // line, or a zcache relocation leaves the moved line
+        // predicted by the destination slot's stale state.
+        rrpv_[to] = rrpv_[from];
+        lastTouch_[to] = lastTouch_[from];
+        rrpv_[from] = 0;
+        lastTouch_[from] = 0;
+    }
+
     /**
      * RRPV dominates; recency breaks ties within an RRPV level
      * (standing in for SRRIP's aging sweep, which a candidate-list

@@ -133,4 +133,48 @@ TreapRankingBase::partLines(PartId part) const
     return treap == nullptr ? 0 : treap->size();
 }
 
+std::string
+TreapRankingBase::auditInvariants() const
+{
+    // Per-partition treap structure first (heap/order/size/min).
+    std::uint32_t inTreaps = 0;
+    for (std::size_t p = 0; p < treaps_.size(); ++p) {
+        std::string err = treaps_[p].auditInvariants();
+        if (!err.empty())
+            return strprintf("partition %zu treap: %s", p,
+                             err.c_str());
+        inTreaps += treaps_[p].size();
+    }
+
+    // Line metadata <-> treap cross-consistency: every present line
+    // is stored once, under its recorded partition and key.
+    std::uint32_t presentLines = 0;
+    for (LineId id = 0; id < present_.size(); ++id) {
+        if (present_[id] == 0) {
+            if (partOf_[id] != kInvalidPart) {
+                return strprintf("absent line %u still mapped to "
+                                 "partition %u", id,
+                                 static_cast<unsigned>(partOf_[id]));
+            }
+            continue;
+        }
+        ++presentLines;
+        if (keyOf_[id].line != id) {
+            return strprintf("line %u keyed as line %u", id,
+                             keyOf_[id].line);
+        }
+        const auto *treap = treapFor(partOf_[id]);
+        if (treap == nullptr || !treap->contains(keyOf_[id])) {
+            return strprintf(
+                "present line %u missing from partition %u's "
+                "treap", id, static_cast<unsigned>(partOf_[id]));
+        }
+    }
+    if (presentLines != inTreaps) {
+        return strprintf("%u present lines but treaps hold %u keys",
+                         presentLines, inTreaps);
+    }
+    return std::string();
+}
+
 } // namespace fscache

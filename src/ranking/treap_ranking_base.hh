@@ -34,6 +34,7 @@ class TreapRankingBase : public FutilityRanking
     LineId worstIn(PartId part) const override;
     std::uint32_t partLines(PartId part) const override;
     PartId partOf(LineId id) const override { return partOf_[id]; }
+    std::string auditInvariants() const override;
 
   protected:
     /**

@@ -34,6 +34,8 @@ errorClassName(ErrorClass cls)
         return "permanent";
       case ErrorClass::Timeout:
         return "timeout";
+      case ErrorClass::Corruption:
+        return "corruption";
     }
     return "?";
 }
@@ -80,6 +82,20 @@ renderManifest(const std::vector<ManifestEntry> &entries)
                          e.cell, cellStatusName(e.status), cls,
                          e.attempts, e.attempts == 1 ? "" : "s",
                          e.error.c_str());
+        if (e.detail.empty())
+            continue;
+        // Corruption reports are multi-line; indent them under the
+        // entry so the manifest stays one-entry-per-cell scannable.
+        std::size_t pos = 0;
+        while (pos < e.detail.size()) {
+            std::size_t nl = e.detail.find('\n', pos);
+            if (nl == std::string::npos)
+                nl = e.detail.size();
+            out += strprintf("      %.*s\n",
+                             static_cast<int>(nl - pos),
+                             e.detail.c_str() + pos);
+            pos = nl + 1;
+        }
     }
     return out;
 }

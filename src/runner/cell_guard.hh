@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/breadcrumb.hh"
 #include "common/cancellation.hh"
 #include "common/errors.hh"
 #include "common/fault_injection.hh"
@@ -65,11 +66,15 @@ enum class ErrorClass
     Transient,
     Permanent,
     Timeout,
+    /** A self-check (FS_AUDIT / FS_SHADOW) proved the cell's state
+     *  corrupt; never retried — the deterministic rerun would
+     *  corrupt identically. */
+    Corruption,
 };
 
 const char *cellStatusName(CellStatus status);
 
-/** "transient" / "permanent" / "timeout" / "none". */
+/** "transient" / "permanent" / "timeout" / "corruption" / "none". */
 const char *errorClassName(ErrorClass cls);
 
 /** Guard knobs; fromEnv() fills the watchdog from the environment. */
@@ -96,6 +101,9 @@ struct CellOutcome
     CellStatus status = CellStatus::Ok;
     ErrorClass errorClass = ErrorClass::None;
     std::string error;          ///< what() of the final failure
+    /** Structured multi-line report (audit violation / shadow
+     *  first-divergence repro); empty for other failures. */
+    std::string detail;
     unsigned attempts = 0;      ///< attempts actually made
     std::uint64_t wallNs = 0;   ///< wall time across all attempts
     bool restored = false;      ///< satisfied from a checkpoint
@@ -130,6 +138,7 @@ runGuarded(std::size_t cell, Fn &&fn,
     const unsigned max_attempts =
         cfg.maxAttempts > 0 ? cfg.maxAttempts : 1;
     const std::uint64_t t0 = detail::guardNowNs();
+    check::breadcrumbSetCell(cell);
     for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0)
             detail::backoffBeforeRetry(cfg.backoffBaseMs, attempt);
@@ -149,6 +158,12 @@ runGuarded(std::size_t cell, Fn &&fn,
             out.errorClass = ErrorClass::Timeout;
             out.error = e.what();
             break; // a wedged cell stays wedged; never retry
+        } catch (const StateCorruptionError &e) {
+            out.status = CellStatus::Failed;
+            out.errorClass = ErrorClass::Corruption;
+            out.error = e.what();
+            out.detail = e.report();
+            break; // deterministic rerun corrupts again; no retry
         } catch (const TransientError &e) {
             out.status = CellStatus::Failed;
             out.errorClass = ErrorClass::Transient;
@@ -166,6 +181,7 @@ runGuarded(std::size_t cell, Fn &&fn,
             break;
         }
     }
+    check::breadcrumbClearCell();
     out.wallNs = detail::guardNowNs() - t0;
     return out;
 }
@@ -177,6 +193,8 @@ struct ManifestEntry
     CellStatus status = CellStatus::Failed;
     ErrorClass errorClass = ErrorClass::Permanent;
     std::string error;
+    /** Structured report (audit / shadow divergence), or empty. */
+    std::string detail;
     unsigned attempts = 0;
 };
 
@@ -220,7 +238,7 @@ struct SweepReport
             if (c.ok())
                 continue;
             out.push_back({i, c.status, c.errorClass, c.error,
-                           c.attempts});
+                           c.detail, c.attempts});
         }
         return out;
     }

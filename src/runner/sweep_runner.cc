@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "check/breadcrumb.hh"
+
 namespace fscache
 {
 
@@ -25,6 +27,11 @@ SweepRunner::defaultJobs()
 SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs > 0 ? jobs : defaultJobs())
 {
+    // Hard-crash diagnostics (SIGSEGV & friends): idempotent, so
+    // every runner construction may call it. Installed here — not in
+    // main() — because any driver that sweeps benefits and none of
+    // them should have to remember.
+    check::installCrashBreadcrumbs();
 }
 
 } // namespace fscache

@@ -1,6 +1,11 @@
 #include "sim/partitioned_cache.hh"
 
+#include "check/audit.hh"
+#include "check/breadcrumb.hh"
+#include "check/invariants.hh"
+#include "check/shadow_cache.hh"
 #include "common/cancellation.hh"
+#include "common/fault_injection.hh"
 #include "common/log.hh"
 
 namespace fscache
@@ -12,6 +17,11 @@ namespace
 /** Deviation histogram support: +/- span lines around the target. */
 constexpr double kDevSpan = 8192.0;
 constexpr std::uint32_t kDevBins = 2048;
+
+/** Stride (as a mask) between structural audits under FS_AUDIT:
+ *  occupancy sums at cheap, plus full deep audits at paranoid.
+ *  Paranoid additionally runs the cheap sums every access. */
+constexpr std::uint64_t kAuditStrideMask = 0x3ff; // every 1024
 
 } // namespace
 
@@ -31,7 +41,24 @@ PartitionedCache::PartitionedCache(
         deviation_.emplace_back(0.0, kDevSpan, kDevBins);
     scheme_->bind(this, numParts_);
     schemeFutilityExact_ = ranking_->schemeFutilityIsExact();
+
+    auditLevel_ = static_cast<std::uint8_t>(check::auditLevel());
+    if (check::shadowEnabled()) {
+        shadow_ = std::make_unique<check::ShadowCache>(
+            ranking_->name(), array_->numLines(), numParts_);
+    }
+    selfCheck_ = auditLevel_ != 0 || shadow_ != nullptr;
+
+    // Crash-breadcrumb fingerprint: identifies the config a worker
+    // thread was simulating if the process dies hard. Most-recent-
+    // cache-wins per thread, which is exactly the one that crashed.
+    check::breadcrumbSetContext(
+        "scheme=%s ranking=%s array=%s lines=%u parts=%u",
+        scheme_->name().c_str(), ranking_->name().c_str(),
+        array_->name().c_str(), array_->numLines(), numParts_);
 }
+
+PartitionedCache::~PartitionedCache() = default;
 
 void
 PartitionedCache::setTarget(PartId part, std::uint32_t lines)
@@ -58,6 +85,8 @@ PartitionedCache::demote(LineId line, PartId to_part)
     // ranking keeps the line ordered under its owner so eviction
     // futility is still measured against the owning thread.
     array_->tags().retag(line, to_part);
+    if (shadow_ != nullptr) [[unlikely]]
+        shadow_->onRetag(line, to_part);
 }
 
 void
@@ -100,8 +129,11 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
     fs_assert(part < numParts_, "access for unknown partition");
     // Watchdog check point for drivers that loop on access()
     // directly; free unless a cancellation scope is installed.
+    // Crash breadcrumbs and the fault injector's armed corruption
+    // ride the same stride — all three are progress markers that
+    // only need coarse granularity.
     if ((++accessTick_ & 0x1fff) == 0)
-        pollCancellation();
+        pollSlowChecks();
     AccessOutcome out;
     TagStore &tags = array_->tags();
 
@@ -112,9 +144,13 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
         ranking_->onHit(id, next_use);
         ++stats_[part].hits;
         out.hit = true;
+        if (selfCheck_) [[unlikely]]
+            selfCheckHit(id, part, addr, next_use);
         return out;
     }
     ++stats_[part].misses;
+    if (selfCheck_) [[unlikely]]
+        selfCheckMiss(part, addr);
 
     // Placement without eviction while there is room.
     LineId slot = kInvalidLine;
@@ -157,6 +193,9 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
         out.victimOwner = owner;
         out.victimFutility = fut;
 
+        if (selfCheck_) [[unlikely]]
+            selfCheckEviction(addr, part, victim, owner, fut);
+
         ranking_->onEvict(victim);
         tags.evict(victim);
         scheme_->onEviction(tag_part);
@@ -164,6 +203,10 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
         slot = array_->makeRoom(addr, victim,
                                 [this](LineId from, LineId to) {
                                     ranking_->onRelocate(from, to);
+                                    if (shadow_ != nullptr)
+                                        [[unlikely]]
+                                        shadow_->onRelocate(from,
+                                                            to);
                                 });
     }
 
@@ -171,6 +214,8 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
     ranking_->onInstall(slot, part, next_use);
     ++stats_[part].insertions;
     scheme_->onInsertion(part);
+    if (selfCheck_) [[unlikely]]
+        selfCheckInstall(slot, part, addr, next_use);
 
     if (out.evicted && ++evictionsSinceSample_ >=
                            devSampleInterval_) {
@@ -182,6 +227,80 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
             deviation_[p].sample(tags.partSize(static_cast<PartId>(p)));
     }
     return out;
+}
+
+void
+PartitionedCache::pollSlowChecks()
+{
+    pollCancellation();
+    check::breadcrumbSetAccess(accessTick_);
+    // FS_FAULTS `cell=N:corrupt`: the guard's fault point armed a
+    // thread-local flag; consume it here, mid-cell, by flipping a
+    // tag-store index entry — the canonical silent corruption the
+    // audits and the shadow model exist to detect.
+    if (FaultInjector::consumeArmedCorruption()) [[unlikely]]
+        array_->tags().corruptAddrIndexForFaultInjection();
+}
+
+void
+PartitionedCache::runAudits()
+{
+    if (auditLevel_ == 0)
+        return;
+    bool onStride = (accessTick_ & kAuditStrideMask) == 0;
+    if (auditLevel_ >= 2 || onStride) {
+        std::string err = check::auditOccupancySums(
+            array_->tags(), *ranking_, numParts_);
+        if (!err.empty()) [[unlikely]]
+            check::auditFail("occupancy sums", err);
+    }
+    if (auditLevel_ >= 2 && onStride) {
+        std::string err = check::auditDeepConsistency(
+            array_->tags(), *ranking_, numParts_);
+        if (!err.empty()) [[unlikely]]
+            check::auditFail("deep consistency", err);
+    }
+}
+
+void
+PartitionedCache::selfCheckHit(LineId id, PartId part, Addr addr,
+                               AccessTime next_use)
+{
+    if (shadow_ != nullptr) {
+        shadow_->checkLookup(accessTick_, addr, part, id);
+        shadow_->onHit(id, next_use);
+    }
+    runAudits();
+}
+
+void
+PartitionedCache::selfCheckMiss(PartId part, Addr addr)
+{
+    if (shadow_ != nullptr)
+        shadow_->checkLookup(accessTick_, addr, part, kInvalidLine);
+}
+
+void
+PartitionedCache::selfCheckEviction(Addr addr, PartId part,
+                                    LineId victim, PartId owner,
+                                    double fut)
+{
+    if (shadow_ != nullptr) {
+        shadow_->checkEviction(accessTick_, addr, part, victim,
+                               owner, ranking_->worstIn(owner), fut);
+        shadow_->onEvict(victim);
+    }
+}
+
+void
+PartitionedCache::selfCheckInstall(LineId slot, PartId part,
+                                   Addr addr, AccessTime next_use)
+{
+    if (shadow_ != nullptr) {
+        shadow_->onInstall(slot, addr, part, next_use);
+        shadow_->checkSizes(accessTick_, array_->tags());
+    }
+    runAudits();
 }
 
 void

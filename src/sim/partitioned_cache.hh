@@ -29,6 +29,11 @@
 namespace fscache
 {
 
+namespace check
+{
+class ShadowCache;
+} // namespace check
+
 /** Hit/miss/insertion/eviction counters for one partition. */
 struct CachePartStats
 {
@@ -72,6 +77,8 @@ class PartitionedCache : public PartitionOps
                      std::unique_ptr<FutilityRanking> ranking,
                      std::unique_ptr<PartitionScheme> scheme,
                      std::uint32_t num_parts);
+
+    ~PartitionedCache(); // out of line: unique_ptr<ShadowCache>
 
     /** Set one partition's target size in lines. */
     void setTarget(PartId part, std::uint32_t lines);
@@ -142,6 +149,18 @@ class PartitionedCache : public PartitionOps
   private:
     void buildCandidates(Addr addr);
 
+    // Self-checking (src/check; cold — see access() for the single
+    // cached-bool gate that keeps the hot path clean).
+    void selfCheckHit(LineId id, PartId part, Addr addr,
+                      AccessTime next_use);
+    void selfCheckMiss(PartId part, Addr addr);
+    void selfCheckEviction(Addr addr, PartId part, LineId victim,
+                           PartId owner, double fut);
+    void selfCheckInstall(LineId slot, PartId part, Addr addr,
+                          AccessTime next_use);
+    void runAudits();
+    void pollSlowChecks();
+
     std::unique_ptr<CacheArray> array_;
     std::unique_ptr<FutilityRanking> ranking_;
     std::unique_ptr<PartitionScheme> scheme_;
@@ -158,6 +177,14 @@ class PartitionedCache : public PartitionOps
     std::uint32_t devSampleInterval_ = 1;
     std::uint32_t evictionsSinceSample_ = 0;
     std::uint64_t accessTick_ = 0; ///< throttles watchdog polls
+
+    /** Lockstep reference model (FS_SHADOW=1), else null. */
+    std::unique_ptr<check::ShadowCache> shadow_;
+    /** check::auditLevel() snapshotted at construction. */
+    std::uint8_t auditLevel_ = 0;
+    /** auditLevel_ != off || shadow_: the only check the access hot
+     *  path pays when self-checking is disabled. */
+    bool selfCheck_ = false;
 };
 
 } // namespace fscache

@@ -50,6 +50,17 @@ unchecked-sto
     parseU64Arg, parseDoubleArg) which validate the full token and
     exit with a diagnostic naming the flag and the offending value.
 
+swallowed-exception
+    src/ must not contain a `catch (...)` whose handler neither
+    rethrows (`throw;`) nor converts the error into a typed outcome.
+    A silently swallowed exception is how state corruption escapes
+    the self-checking layer (src/check): the error vanishes and the
+    sweep keeps aggregating garbage. The two sanctioned catch-all
+    sites — the thread pool's exception trampoline and the cell
+    guard's outcome conversion — are allowlisted by path below;
+    anything else must rethrow or use // fs-lint: allow(...) with a
+    justification.
+
 Suppressions / policies
 -----------------------
 A finding is suppressed by a directive comment on the same line or
@@ -102,15 +113,28 @@ UNORDERED_PATTERN = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
 UNCHECKED_STO_PATTERN = re.compile(
     r"\bstd::sto(?:i|l|ll|ul|ull|f|d|ld)\b")
 
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+THROW_RE = re.compile(r"\bthrow\b")
+
+# The sanctioned catch-all sites: the pool forwards the captured
+# exception_ptr to the submitter, and the guard converts the error
+# into a typed CellOutcome. Both "produce a typed outcome".
+SWALLOW_ALLOWLIST = frozenset({
+    "src/runner/thread_pool.cc",
+    "src/runner/cell_guard.hh",
+})
+
 # Scopes are path prefixes relative to the scanned root.
 RANDOM_SCOPE = ("src/sim", "src/partition", "src/ranking", "src/cache")
 AGGREGATION_SCOPE = ("src/stats", "src/sim")
 HOT_PATH_SCOPE = ("src/cache", "src/ranking", "src/sim")
 ACCUM_SCOPE = ("src/stats",)
 STO_SCOPE = ("tools", "bench")
+SWALLOW_SCOPE = ("src",)
 
 ALL_RULES = ("raw-random", "wall-clock", "unordered-aggregation",
-             "hot-path-container", "float-accum", "unchecked-sto")
+             "hot-path-container", "float-accum", "unchecked-sto",
+             "swallowed-exception")
 
 DIRECTIVE_RE = re.compile(
     r"//\s*fs-lint:\s*(allow|float-accum)\(([\w-]+)\)\s*(.*)")
@@ -238,6 +262,37 @@ def float_names(paths) -> set:
     return names
 
 
+def swallowed_catch_lines(text: str):
+    """Line numbers of `catch (...)` handlers containing no throw.
+
+    Reassembles the comment/literal-stripped lines (preserving line
+    numbering) and brace-matches each catch-all's block; a handler
+    that never mentions `throw` neither rethrows nor constructs a
+    typed error, so the exception dies there.
+    """
+    stripped = dict(code_lines(text))
+    total = text.count("\n") + 1
+    joined = "\n".join(stripped.get(no, "")
+                       for no in range(1, total + 1))
+    for m in CATCH_ALL_RE.finditer(joined):
+        lineno = joined.count("\n", 0, m.start()) + 1
+        brace = joined.find("{", m.end())
+        if brace < 0:
+            continue
+        depth = 0
+        i = brace
+        while i < len(joined):
+            if joined[i] == "{":
+                depth += 1
+            elif joined[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if not THROW_RE.search(joined[brace:i + 1]):
+            yield lineno
+
+
 def check_file(root: Path, path: Path, findings: list):
     rel = path.relative_to(root).as_posix()
     try:
@@ -270,6 +325,16 @@ def check_file(root: Path, path: Path, findings: list):
     scoped_hot = in_scope(rel, HOT_PATH_SCOPE)
     scoped_accum = in_scope(rel, ACCUM_SCOPE)
     scoped_sto = in_scope(rel, STO_SCOPE)
+    scoped_swallow = (in_scope(rel, SWALLOW_SCOPE) and
+                      rel not in SWALLOW_ALLOWLIST)
+
+    if scoped_swallow:
+        for no in swallowed_catch_lines(text):
+            report(no, "swallowed-exception",
+                   "catch (...) that neither rethrows nor produces "
+                   "a typed outcome swallows errors (including "
+                   "StateCorruptionError); rethrow, convert to a "
+                   "typed error, or justify with an allow()")
 
     accum_names = set()
     if scoped_accum:
@@ -370,6 +435,7 @@ def self_test(repo_root: Path) -> int:
         ("src/stats/bad_accum.cc", 32, "float-accum"),
         ("tools/bad_sto.cc", 9, "unchecked-sto"),
         ("tools/bad_sto.cc", 10, "unchecked-sto"),
+        ("src/runner/bad_catch.cc", 11, "swallowed-exception"),
     }
     ok = True
     for miss in sorted(expected - got):

@@ -1,0 +1,25 @@
+// Fixture: swallowed-exception rule. The first catch-all swallows
+// the error; the second rethrows and must stay quiet.
+
+void mayThrow();
+
+void
+swallowsEverything()
+{
+    try {
+        mayThrow();
+    } catch (...) {
+        // error vanishes; the sweep keeps aggregating garbage
+    }
+}
+
+void
+rethrowsAfterCleanup()
+{
+    try {
+        mayThrow();
+    } catch (...) {
+        // releasing a resource before propagating is fine
+        throw;
+    }
+}
