@@ -9,19 +9,29 @@
 #   --runs N      measurement repetitions (default: runs_per_measurement
 #                 from the baseline file); the best run is used, which
 #                 damps scheduler noise on shared machines
-#   --out FILE    also write a measured-summary JSON (per-run values,
-#                 best, baseline, tolerance) — CI uploads this as the
-#                 throughput artifact
+#   --out FILE    also write measured-summary JSONs (per-run values,
+#                 best, baseline, tolerance): FILE for the serial
+#                 metric plus FILE with a _batched suffix for the
+#                 batched metric — CI uploads both as throughput
+#                 artifacts
 #   build_dir     directory holding bench/micro_sweep_throughput
 #                 (default: build)
 #
 # Check mode runs bench/micro_sweep_throughput serially (FS_JOBS=1)
-# N times, takes the best accesses_per_sec_serial, and fails when it
-# falls more than `tolerance` (default 25%) below the committed
-# baseline. The tolerance absorbs machine-to-machine variance while
-# still catching the order-of-magnitude regressions a hot-path
-# change can introduce; bit-identity of outputs is gated separately
-# by the golden tests (tests/golden/).
+# N times and takes the best of each gated metric:
+#
+#   accesses_per_sec_serial   full cells (generation + replay);
+#                             fails > `tolerance` (default 25%)
+#                             below the committed baseline
+#   accesses_per_sec_batched  replay-only batched pipeline; fails
+#                             below baseline*(1-tolerance) OR below
+#                             the absolute batched_floor committed
+#                             in the baseline file
+#
+# The tolerance absorbs machine-to-machine variance while still
+# catching the order-of-magnitude regressions a hot-path change can
+# introduce; bit-identity of outputs is gated separately by the
+# golden tests (tests/golden/).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -37,7 +47,7 @@ while [ $# -gt 0 ]; do
       --capture) capture=1; shift ;;
       --runs) runs="$2"; shift 2 ;;
       --out) out="$2"; shift 2 ;;
-      -h|--help) sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+      -h|--help) sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
       *) break ;;
     esac
 done
@@ -62,7 +72,9 @@ tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
 best=""
+best_batched=""
 values=""
+values_batched=""
 i=1
 while [ "$i" -le "$runs" ]; do
     FS_BENCH_JSON="$tmpdir/run$i.json" FS_JOBS=1 "$bench" \
@@ -74,12 +86,17 @@ while [ "$i" -le "$runs" ]; do
     v=$(python3 -c "
 import json
 print(json.load(open('$tmpdir/run$i.json'))['accesses_per_sec_serial'])")
-    echo "bench_baseline: run $i/$runs: $v accesses/sec"
+    vb=$(python3 -c "
+import json
+print(json.load(open('$tmpdir/run$i.json'))['accesses_per_sec_batched'])")
+    echo "bench_baseline: run $i/$runs: $v serial, $vb batched accesses/sec"
     best=$(python3 -c "print(max($v, ${best:-0}))")
+    best_batched=$(python3 -c "print(max($vb, ${best_batched:-0}))")
     values="$values $v"
+    values_batched="$values_batched $vb"
     i=$((i + 1))
 done
-echo "bench_baseline: best of $runs: $best accesses/sec"
+echo "bench_baseline: best of $runs: $best serial, $best_batched batched accesses/sec"
 
 if [ -n "$out" ]; then
     python3 - "$baseline_file" "$out" "$best" $values <<'EOF'
@@ -88,7 +105,7 @@ baseline_path, out_path, best = sys.argv[1], sys.argv[2], float(sys.argv[3])
 doc = json.load(open(baseline_path))
 summary = {
     "bench": doc.get("bench", "micro_sweep_throughput"),
-    "metric": doc.get("metric", "accesses_per_sec_serial"),
+    "metric": "accesses_per_sec_serial",
     "runs": [float(v) for v in sys.argv[4:]],
     "best": best,
     "baseline": doc["baseline"]["accesses_per_sec_serial"],
@@ -98,16 +115,36 @@ with open(out_path, "w") as f:
     json.dump(summary, f, indent=2)
     f.write("\n")
 EOF
-    echo "bench_baseline: wrote measured summary to $out"
+    out_batched="${out%.json}_batched.json"
+    python3 - "$baseline_file" "$out_batched" "$best_batched" \
+        $values_batched <<'EOF'
+import json, sys
+baseline_path, out_path, best = sys.argv[1], sys.argv[2], float(sys.argv[3])
+doc = json.load(open(baseline_path))
+summary = {
+    "bench": doc.get("bench", "micro_sweep_throughput"),
+    "metric": "accesses_per_sec_batched",
+    "runs": [float(v) for v in sys.argv[4:]],
+    "best": best,
+    "baseline": doc["baseline"]["accesses_per_sec_batched"],
+    "floor": doc["baseline"].get("batched_floor", 0.0),
+    "tolerance": doc.get("tolerance", 0.25),
+}
+with open(out_path, "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+EOF
+    echo "bench_baseline: wrote measured summaries to $out and $out_batched"
 fi
 
 if [ "$capture" = 1 ]; then
-    python3 - "$baseline_file" "$best" <<'EOF'
+    python3 - "$baseline_file" "$best" "$best_batched" <<'EOF'
 import json, sys
-path, best = sys.argv[1], float(sys.argv[2])
+path, best, best_batched = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 with open(path) as f:
     doc = json.load(f)
 doc["baseline"]["accesses_per_sec_serial"] = round(best, 1)
+doc["baseline"]["accesses_per_sec_batched"] = round(best_batched, 1)
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
@@ -116,18 +153,38 @@ EOF
     exit 0
 fi
 
-python3 - "$baseline_file" "$best" <<'EOF'
+python3 - "$baseline_file" "$best" "$best_batched" <<'EOF'
 import json, sys
-path, best = sys.argv[1], float(sys.argv[2])
+path, best, best_batched = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
 doc = json.load(open(path))
-baseline = doc["baseline"]["accesses_per_sec_serial"]
 tol = doc.get("tolerance", 0.25)
+fail = False
+
+baseline = doc["baseline"]["accesses_per_sec_serial"]
 floor = baseline * (1.0 - tol)
-print(f"bench_baseline: baseline {baseline:.0f}, tolerance {tol:.0%}, "
-      f"floor {floor:.0f}")
+print(f"bench_baseline: serial baseline {baseline:.0f}, tolerance "
+      f"{tol:.0%}, floor {floor:.0f}")
 if best < floor:
-    print(f"bench_baseline: FAIL — measured {best:.0f} accesses/sec is "
-          f"more than {tol:.0%} below the baseline", file=sys.stderr)
-    sys.exit(1)
-print(f"bench_baseline: OK — measured {best:.0f} accesses/sec")
+    print(f"bench_baseline: FAIL — measured {best:.0f} serial "
+          f"accesses/sec is more than {tol:.0%} below the baseline",
+          file=sys.stderr)
+    fail = True
+else:
+    print(f"bench_baseline: OK — measured {best:.0f} serial accesses/sec")
+
+b_baseline = doc["baseline"]["accesses_per_sec_batched"]
+b_abs = doc["baseline"].get("batched_floor", 0.0)
+b_floor = max(b_baseline * (1.0 - tol), b_abs)
+print(f"bench_baseline: batched baseline {b_baseline:.0f}, absolute "
+      f"floor {b_abs:.0f}, gate {b_floor:.0f}")
+if best_batched < b_floor:
+    print(f"bench_baseline: FAIL — measured {best_batched:.0f} batched "
+          f"accesses/sec is below the gate {b_floor:.0f}",
+          file=sys.stderr)
+    fail = True
+else:
+    print(f"bench_baseline: OK — measured {best_batched:.0f} batched "
+          f"accesses/sec")
+
+sys.exit(1 if fail else 0)
 EOF

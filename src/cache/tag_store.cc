@@ -148,6 +148,18 @@ TagStore::corruptAddrIndexForFaultInjection()
     return kInvalidLine;
 }
 
+PartId
+TagStore::corruptOccupancyForFaultInjection()
+{
+    for (std::size_t p = 0; p < partSize_.size(); ++p) {
+        if (partSize_[p] > 0) {
+            ++partSize_[p];
+            return static_cast<PartId>(p);
+        }
+    }
+    return kInvalidPart;
+}
+
 LineId
 TagStore::popFree()
 {

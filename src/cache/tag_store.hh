@@ -47,6 +47,10 @@ class TagStore
         return slot == nullptr ? kInvalidLine : *slot;
     }
 
+    /** Prefetch the index slot a lookup(addr) will probe first
+     *  (batched pipeline look-ahead; a pure cache hint). */
+    void prefetchLookup(Addr addr) const { byAddr_.prefetch(addr); }
+
     /** Install addr into an invalid slot. */
     void install(LineId id, Addr addr, PartId part);
 
@@ -104,6 +108,17 @@ class TagStore
      * entry was dropped, or kInvalidLine if the store is empty.
      */
     LineId corruptAddrIndexForFaultInjection();
+
+    /**
+     * Deliberately inflate the first non-empty partition's occupancy
+     * counter by one (FS_FAULTS `cell=N:corrupt-occ`). The counter
+     * then disagrees with a per-line recount and with validCount_,
+     * which is exactly what auditOccupancySums / the shadow model's
+     * size check exist to detect; nothing navigates off it, so the
+     * damage is silent until a checker looks. Returns the perturbed
+     * partition, or kInvalidPart if the store is empty.
+     */
+    PartId corruptOccupancyForFaultInjection();
 
   private:
     void growPart(PartId part);

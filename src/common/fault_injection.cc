@@ -53,11 +53,12 @@ retain(std::unique_ptr<const FaultInjector> fi)
 }
 
 /**
- * Armed `cell=N:corrupt` flag. Thread-local: the fault point and
+ * Armed `cell=N:corrupt*` target. Thread-local: the fault point and
  * the cell body run on the same worker thread, so arming cannot
  * cross cells running concurrently on other workers.
  */
-thread_local bool t_corruptArmed = false;
+thread_local FaultInjector::CorruptTarget t_corruptArmed =
+    FaultInjector::CorruptTarget::None;
 
 } // namespace
 
@@ -119,9 +120,14 @@ FaultInjector::parse(const std::string &spec)
             c.kind = Kind::Transient;
         } else if (action == "corrupt") {
             c.kind = Kind::Corrupt;
+        } else if (action == "corrupt-treap") {
+            c.kind = Kind::CorruptTreap;
+        } else if (action == "corrupt-occ") {
+            c.kind = Kind::CorruptOcc;
         } else {
             fatal("FS_FAULTS \"%s\": unknown action \"%s\" (want "
-                  "throw, hang, transient, or corrupt)",
+                  "throw, hang, transient, corrupt, corrupt-treap, "
+                  "or corrupt-occ)",
                   spec.c_str(), action.c_str());
         }
         if (c.kind != Kind::Transient && star != std::string::npos)
@@ -175,11 +181,11 @@ FaultInjector::installForTest(const std::string &spec)
     g_initialized.store(true, std::memory_order_release);
 }
 
-bool
+FaultInjector::CorruptTarget
 FaultInjector::consumeArmedCorruption()
 {
-    bool armed = t_corruptArmed;
-    t_corruptArmed = false;
+    CorruptTarget armed = t_corruptArmed;
+    t_corruptArmed = CorruptTarget::None;
     return armed;
 }
 
@@ -189,7 +195,7 @@ FaultInjector::fire(std::size_t cell, unsigned attempt) const
     // A corruption armed for a previous cell on this worker that
     // was never consumed (the cell ran too few accesses) must not
     // leak into this one.
-    t_corruptArmed = false;
+    t_corruptArmed = CorruptTarget::None;
     for (const Clause &c : clauses_) {
         if (c.byRate) {
             // Deterministic per-cell coin: same cells fail in every
@@ -212,9 +218,16 @@ FaultInjector::fire(std::size_t cell, unsigned attempt) const
             throw FsError(strprintf(
                 "injected permanent fault at cell %zu", cell));
           case Kind::Corrupt:
-            // Silent by design: arm only; PartitionedCache flips a
-            // tag-store entry when it consumes the flag mid-cell.
-            t_corruptArmed = true;
+            // Silent by design: arm only; PartitionedCache damages
+            // the targeted structure when it consumes the flag
+            // mid-cell.
+            t_corruptArmed = CorruptTarget::AddrIndex;
+            break;
+          case Kind::CorruptTreap:
+            t_corruptArmed = CorruptTarget::RankTreap;
+            break;
+          case Kind::CorruptOcc:
+            t_corruptArmed = CorruptTarget::Occupancy;
             break;
           case Kind::Transient:
             if (attempt < c.attempts)

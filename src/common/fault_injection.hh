@@ -14,19 +14,25 @@
  *     cell=<n>:corrupt        silently flip a tag-store index entry
  *                             mid-cell (detected only by FS_AUDIT /
  *                             FS_SHADOW; see docs/ROBUSTNESS.md)
+ *     cell=<n>:corrupt-treap  silently inflate a ranking-treap
+ *                             subtree size mid-cell
+ *     cell=<n>:corrupt-occ    silently inflate a partition occupancy
+ *                             counter mid-cell
  *     rate=<p>:transient      TransientError on a deterministic,
  *                             seed-derived fraction p of cells
  *                             (first attempt only)
  *
  * Example: FS_FAULTS="cell=7:throw;cell=9:hang;rate=0.02:transient"
  *
- * The corrupt clause is two-phase: fire() only *arms* a thread-
- * local flag (it must not throw — corruption is silent by
- * definition); PartitionedCache consumes the flag at its next
- * watchdog stride and desynchronizes its own tag store. Arming is
- * per-thread and fire() re-disarms at the top of every cell
- * attempt, so a flag armed for a short cell that never consumed it
- * cannot leak into the next cell on that worker.
+ * The corrupt* clauses are two-phase: fire() only *arms* a thread-
+ * local target (it must not throw — corruption is silent by
+ * definition); PartitionedCache consumes the target at its next
+ * watchdog stride and desynchronizes the matching structure (tag
+ * index, ranking treap, or occupancy counter — together covering
+ * every FS_AUDIT arm end to end). Arming is per-thread and fire()
+ * re-disarms at the top of every cell attempt, so a target armed
+ * for a short cell that never consumed it cannot leak into the next
+ * cell on that worker.
  *
  * Determinism: the rate clause hashes the cell index through mix64
  * with a fixed salt — the same cells fail in every run and under
@@ -42,6 +48,7 @@
 #define FSCACHE_COMMON_FAULT_INJECTION_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +59,20 @@ namespace fscache
 class FaultInjector
 {
   public:
+    /**
+     * Which structure an armed corrupt* clause targets. Each value
+     * maps one grammar action onto one audited structure:
+     * corrupt -> AddrIndex, corrupt-treap -> RankTreap,
+     * corrupt-occ -> Occupancy.
+     */
+    enum class CorruptTarget : std::uint8_t
+    {
+        None,
+        AddrIndex,
+        RankTreap,
+        Occupancy,
+    };
+
     /** Parse a spec; fatal() on a malformed clause. */
     static FaultInjector parse(const std::string &spec);
 
@@ -76,11 +97,12 @@ class FaultInjector
     void fire(std::size_t cell, unsigned attempt) const;
 
     /**
-     * Test-and-clear the calling thread's armed corruption flag
-     * (set by a `cell=N:corrupt` clause at that cell's fault
-     * point). Called by PartitionedCache on its watchdog stride.
+     * Test-and-clear the calling thread's armed corruption target
+     * (set by a `cell=N:corrupt*` clause at that cell's fault
+     * point). Called by PartitionedCache on its watchdog stride;
+     * CorruptTarget::None when nothing is armed.
      */
-    static bool consumeArmedCorruption();
+    static CorruptTarget consumeArmedCorruption();
 
     bool
     empty() const
@@ -95,6 +117,8 @@ class FaultInjector
         Hang,
         Transient,
         Corrupt,
+        CorruptTreap,
+        CorruptOcc,
     };
 
     struct Clause

@@ -422,6 +422,26 @@ class OrderStatTreap
         return std::string();
     }
 
+    /**
+     * Deliberately inflate the root's cached subtree size by one
+     * (FS_FAULTS `cell=N:corrupt-treap`). Chosen because it is
+     * silent *and* navigation-safe: descents read the children's
+     * sizes, never the root's, so no subsequent erase/reKey can
+     * crash on it — yet size() (and with it every partLines() sum
+     * and exactFutility() denominator) is now wrong, which is
+     * precisely what auditOccupancySums, the subtree-size audit arm
+     * and the shadow model's futility check exist to detect.
+     * Returns false on an empty treap (nothing was corrupted).
+     */
+    bool
+    corruptSubtreeSizeForFaultInjection()
+    {
+        if (root_ == kNil)
+            return false;
+        ++nodes_[root_].size;
+        return true;
+    }
+
     /** Test-only backdoor for corrupting private state (defined as
      *  an explicit specialization by the self-check unit tests). */
     struct TestAccess;

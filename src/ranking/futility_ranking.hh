@@ -86,6 +86,15 @@ class FutilityRanking
      */
     virtual std::string auditInvariants() const
     { return std::string(); }
+
+    /**
+     * Deliberately corrupt one internal rank-order node (FS_FAULTS
+     * `cell=N:corrupt-treap`; see docs/ROBUSTNESS.md). The damage
+     * must be silent and navigation-safe — detectable only by the
+     * audits / shadow model, never a crash. Returns false when the
+     * ranking keeps no such structure (nothing was corrupted).
+     */
+    virtual bool corruptRankNodeForFaultInjection() { return false; }
 };
 
 } // namespace fscache

@@ -133,6 +133,16 @@ TreapRankingBase::partLines(PartId part) const
     return treap == nullptr ? 0 : treap->size();
 }
 
+bool
+TreapRankingBase::corruptRankNodeForFaultInjection()
+{
+    for (auto &treap : treaps_) {
+        if (treap.corruptSubtreeSizeForFaultInjection())
+            return true;
+    }
+    return false;
+}
+
 std::string
 TreapRankingBase::auditInvariants() const
 {

@@ -35,6 +35,7 @@ class TreapRankingBase : public FutilityRanking
     std::uint32_t partLines(PartId part) const override;
     PartId partOf(LineId id) const override { return partOf_[id]; }
     std::string auditInvariants() const override;
+    bool corruptRankNodeForFaultInjection() override;
 
   protected:
     /**

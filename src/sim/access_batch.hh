@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Struct-of-arrays access batch for the batched replay pipeline.
+ *
+ * The per-access API (PartitionedCache::access) resolves one record
+ * per call: one tag probe whose cache miss stalls the whole engine,
+ * plus per-record call overhead in every replay loop. A batch holds
+ * N records in parallel arrays so the engine can issue the tag-probe
+ * prefetch for record i+K while resolving record i, and hoist the
+ * self-check branch out of the hit-dominant loop.
+ *
+ * Replay order stays the spec: accessBatch() performs exactly the
+ * per-record operation sequence access() performs, in record order —
+ * batching hides memory latency, it never reorders or coalesces
+ * work, so golden byte-identity and the FS_AUDIT / FS_SHADOW checks
+ * hold bit-for-bit (docs/PERF.md §6).
+ */
+
+#ifndef FSCACHE_SIM_ACCESS_BATCH_HH
+#define FSCACHE_SIM_ACCESS_BATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/partitioned_cache.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+struct AccessBatch
+{
+    std::vector<PartId> part;
+    std::vector<Addr> addr;
+    std::vector<AccessTime> nextUse;
+    /** Filled by PartitionedCache::accessBatch, one per record. */
+    std::vector<AccessOutcome> outcome;
+
+    std::size_t size() const { return addr.size(); }
+    bool empty() const { return addr.empty(); }
+
+    void
+    reserve(std::size_t n)
+    {
+        part.reserve(n);
+        addr.reserve(n);
+        nextUse.reserve(n);
+        outcome.reserve(n);
+    }
+
+    /** Drop all records; capacity is retained across refills. */
+    void
+    clear()
+    {
+        part.clear();
+        addr.clear();
+        nextUse.clear();
+        outcome.clear();
+    }
+
+    void
+    push(PartId p, Addr a, AccessTime next_use = kNeverUsed)
+    {
+        part.push_back(p);
+        addr.push_back(a);
+        nextUse.push_back(next_use);
+    }
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_SIM_ACCESS_BATCH_HH

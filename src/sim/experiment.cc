@@ -1,8 +1,11 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
+
 #include "common/cancellation.hh"
 #include "common/log.hh"
 #include "runner/sweep_runner.hh"
+#include "sim/access_batch.hh"
 #include "trace/benchmark_profiles.hh"
 #include "trace/trace_buffer.hh"
 
@@ -43,26 +46,41 @@ runUntimed(PartitionedCache &cache, const Workload &workload,
         total += workload.thread(t).trace.size();
     auto warmup = static_cast<std::uint64_t>(warmup_fraction * total);
 
+    // Batched replay. The persistent round-robin cursor reproduces
+    // the original per-access interleaving exactly — one access per
+    // non-exhausted thread in thread order, round after round — so
+    // the gathered global sequence is the serial loop's, record for
+    // record. Chunks split at the warmup boundary, which puts
+    // resetStats() after exactly `warmup` issued accesses, where
+    // the serial loop put it.
+    constexpr std::uint64_t kReplayBatch = 4096;
     std::vector<std::uint64_t> pos(n, 0);
     std::uint64_t issued = 0;
     bool reset = (warmup == 0);
-    bool any = true;
-    while (any) {
-        any = false;
-        for (std::uint32_t t = 0; t < n; ++t) {
-            const TraceBuffer &trace = workload.thread(t).trace;
-            if (pos[t] >= trace.size())
-                continue;
-            any = true;
-            const Access &acc = trace[pos[t]++];
-            cache.access(static_cast<PartId>(t), acc.addr,
-                         acc.nextUse);
-            if ((++issued & 0x1fff) == 0)
-                pollCancellation();
-            if (!reset && issued >= warmup) {
-                cache.resetStats();
-                reset = true;
-            }
+    AccessBatch batch;
+    batch.reserve(static_cast<std::size_t>(
+        std::min(kReplayBatch, total)));
+    std::uint32_t turn = 0;
+    while (issued < total) {
+        std::uint64_t limit = std::min(kReplayBatch, total - issued);
+        if (!reset)
+            limit = std::min(limit, warmup - issued);
+        batch.clear();
+        while (batch.size() < limit) {
+            while (pos[turn] >= workload.thread(turn).trace.size())
+                turn = (turn + 1 == n) ? 0 : turn + 1;
+            const Access &acc =
+                workload.thread(turn).trace[pos[turn]++];
+            batch.push(static_cast<PartId>(turn), acc.addr,
+                       acc.nextUse);
+            turn = (turn + 1 == n) ? 0 : turn + 1;
+        }
+        cache.accessBatch(batch);
+        issued += batch.size();
+        pollCancellation();
+        if (!reset && issued >= warmup) {
+            cache.resetStats();
+            reset = true;
         }
     }
 }
@@ -124,6 +142,30 @@ driveByInsertionRate(PartitionedCache &cache,
 
     Rng rng(mix64(seed ^ 0x696e7372ull));
 
+    // Per-source look-ahead buffers refilled via fillBatch: the
+    // access stream each partition replays is the same per-source
+    // subsequence as calling next() on demand, just pulled ahead of
+    // consumption. Over-pulled records only advance generator state
+    // past the driver's stopping point, and every caller constructs
+    // fresh sources per drive and discards them after, so nothing
+    // can observe the difference.
+    constexpr std::uint64_t kPullBatch = 256;
+    struct SourceBuf
+    {
+        std::vector<Access> buf;
+        std::size_t next = 0;
+    };
+    std::vector<SourceBuf> bufs(n);
+    auto pull = [&](std::size_t pick) -> const Access & {
+        SourceBuf &sb = bufs[pick];
+        if (sb.next == sb.buf.size()) {
+            sb.buf.resize(kPullBatch);
+            sources[pick]->fillBatch(sb.buf.data(), kPullBatch);
+            sb.next = 0;
+        }
+        return sb.buf[sb.next++];
+    };
+
     // Feed the chosen partition until it inserts (misses) once.
     // The inner loop can spin for a long time on a hit-heavy
     // source, so it polls the watchdog itself.
@@ -132,7 +174,7 @@ driveByInsertionRate(PartitionedCache &cache,
         while (true) {
             if ((++polls & 0xfff) == 0)
                 pollCancellation();
-            Access a = sources[pick]->next();
+            const Access &a = pull(pick);
             AccessOutcome out = cache.access(
                 static_cast<PartId>(pick), a.addr, a.nextUse);
             if (!out.hit)

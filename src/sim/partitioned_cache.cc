@@ -5,8 +5,11 @@
 #include "check/invariants.hh"
 #include "check/shadow_cache.hh"
 #include "common/cancellation.hh"
+#include "common/errors.hh"
 #include "common/fault_injection.hh"
 #include "common/log.hh"
+#include "sim/access_batch.hh"
+#include "sim/victim_check.hh"
 
 namespace fscache
 {
@@ -22,6 +25,16 @@ constexpr std::uint32_t kDevBins = 2048;
  *  occupancy sums at cheap, plus full deep audits at paranoid.
  *  Paranoid additionally runs the cheap sums every access. */
 constexpr std::uint64_t kAuditStrideMask = 0x3ff; // every 1024
+
+/**
+ * Batched-replay look-ahead, in records: while record i resolves,
+ * the address-index home slot of record i+K is prefetched. Large
+ * enough to cover a DRAM load behind the per-record work (a hit is
+ * ~a treap reKey, tens of ns), small enough that the prefetched
+ * line is still resident when its record arrives. Tuned on the
+ * micro_sweep_throughput workloads; see docs/PERF.md.
+ */
+constexpr std::size_t kPrefetchDistance = 8;
 
 } // namespace
 
@@ -134,7 +147,6 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
     // only need coarse granularity.
     if ((++accessTick_ & 0x1fff) == 0)
         pollSlowChecks();
-    AccessOutcome out;
     TagStore &tags = array_->tags();
 
     LineId id = tags.lookup(addr);
@@ -143,11 +155,84 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
         // the fall-through arm.
         ranking_->onHit(id, next_use);
         ++stats_[part].hits;
+        AccessOutcome out;
         out.hit = true;
         if (selfCheck_) [[unlikely]]
             selfCheckHit(id, part, addr, next_use);
         return out;
     }
+    return accessMiss(part, addr, next_use);
+}
+
+void
+PartitionedCache::accessBatch(AccessBatch &batch)
+{
+    const std::size_t n = batch.size();
+    batch.outcome.resize(n);
+    TagStore &tags = array_->tags();
+
+    if (!selfCheck_) [[likely]] {
+        // Hot variant: the self-check gate is hoisted out of the
+        // loop and the hit arm is fully inline; only the prefetch
+        // distinguishes a record here from one run through
+        // access(), and a prefetch is architecturally invisible.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i + kPrefetchDistance < n)
+                tags.prefetchLookup(batch.addr[i + kPrefetchDistance]);
+            const PartId part = batch.part[i];
+            const Addr addr = batch.addr[i];
+            fs_assert(part < numParts_,
+                      "access for unknown partition");
+            if ((++accessTick_ & 0x1fff) == 0)
+                pollSlowChecks();
+            LineId id = tags.lookup(addr);
+            if (id != kInvalidLine) [[likely]] {
+                ranking_->onHit(id, batch.nextUse[i]);
+                ++stats_[part].hits;
+                batch.outcome[i].hit = true;
+                batch.outcome[i].evicted = false;
+                batch.outcome[i].victimOwner = kInvalidPart;
+                batch.outcome[i].victimFutility = 0.0;
+                continue;
+            }
+            batch.outcome[i] =
+                accessMiss(part, addr, batch.nextUse[i]);
+        }
+        return;
+    }
+
+    // Checked variant: same sequence plus the per-record self-check
+    // hooks, so FS_AUDIT strides and FS_SHADOW comparisons land on
+    // identical access ticks as a serial replay.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchDistance < n)
+            tags.prefetchLookup(batch.addr[i + kPrefetchDistance]);
+        const PartId part = batch.part[i];
+        const Addr addr = batch.addr[i];
+        fs_assert(part < numParts_, "access for unknown partition");
+        if ((++accessTick_ & 0x1fff) == 0)
+            pollSlowChecks();
+        LineId id = tags.lookup(addr);
+        if (id != kInvalidLine) {
+            ranking_->onHit(id, batch.nextUse[i]);
+            ++stats_[part].hits;
+            batch.outcome[i].hit = true;
+            batch.outcome[i].evicted = false;
+            batch.outcome[i].victimOwner = kInvalidPart;
+            batch.outcome[i].victimFutility = 0.0;
+            selfCheckHit(id, part, addr, batch.nextUse[i]);
+            continue;
+        }
+        batch.outcome[i] = accessMiss(part, addr, batch.nextUse[i]);
+    }
+}
+
+AccessOutcome
+PartitionedCache::accessMiss(PartId part, Addr addr,
+                             AccessTime next_use)
+{
+    AccessOutcome out;
+    TagStore &tags = array_->tags();
     ++stats_[part].misses;
     if (selfCheck_) [[unlikely]]
         selfCheckMiss(part, addr);
@@ -174,6 +259,8 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
         LineId victim = candBuf_[idx].line;
         fs_assert(tags.line(victim).valid, "scheme chose an invalid "
                   "slot as victim");
+        if (shadow_ != nullptr) [[unlikely]]
+            selfCheckVictimChoice(idx, part);
 
         PartId owner = ranking_->partOf(victim);
         PartId tag_part = tags.line(victim).part;
@@ -234,12 +321,25 @@ PartitionedCache::pollSlowChecks()
 {
     pollCancellation();
     check::breadcrumbSetAccess(accessTick_);
-    // FS_FAULTS `cell=N:corrupt`: the guard's fault point armed a
-    // thread-local flag; consume it here, mid-cell, by flipping a
-    // tag-store index entry — the canonical silent corruption the
-    // audits and the shadow model exist to detect.
-    if (FaultInjector::consumeArmedCorruption()) [[unlikely]]
+    // FS_FAULTS `cell=N:corrupt*`: the guard's fault point armed a
+    // thread-local target; consume it here, mid-cell, by silently
+    // damaging the matching structure — exactly the corruption
+    // class the audits and the shadow model exist to detect. One
+    // target per audited structure keeps every FS_AUDIT arm
+    // exercisable end to end.
+    switch (FaultInjector::consumeArmedCorruption()) {
+      case FaultInjector::CorruptTarget::None:
+        break;
+      case FaultInjector::CorruptTarget::AddrIndex:
         array_->tags().corruptAddrIndexForFaultInjection();
+        break;
+      case FaultInjector::CorruptTarget::RankTreap:
+        ranking_->corruptRankNodeForFaultInjection();
+        break;
+      case FaultInjector::CorruptTarget::Occupancy:
+        array_->tags().corruptOccupancyForFaultInjection();
+        break;
+    }
 }
 
 void
@@ -293,6 +393,33 @@ PartitionedCache::selfCheckEviction(Addr addr, PartId part,
 }
 
 void
+PartitionedCache::selfCheckVictimChoice(std::uint32_t chosen,
+                                        PartId incoming)
+{
+    std::string err = check::verifyVictimChoice(
+        *scheme_, *this, candBuf_, chosen, numParts_);
+    if (err.empty()) [[likely]]
+        return;
+    // A wrong-but-valid victim means the scheme's decision inputs
+    // (scaling registers, occupancy counters, candidate futilities)
+    // no longer agree with observable state — the same corruption
+    // class the shadow model exists to catch, so it gets the same
+    // terminal treatment.
+    std::string report = strprintf(
+        "victim-choice divergence\n"
+        "  tick:      %llu\n"
+        "  scheme:    %s\n"
+        "  incoming:  %u\n"
+        "  chosen:    candidate %u of %zu\n"
+        "  violation: %s\n",
+        static_cast<unsigned long long>(accessTick_),
+        scheme_->name().c_str(), static_cast<unsigned>(incoming),
+        chosen, candBuf_.size(), err.c_str());
+    throw StateCorruptionError("shadow victim-choice check failed",
+                               report);
+}
+
+void
 PartitionedCache::selfCheckInstall(LineId slot, PartId part,
                                    Addr addr, AccessTime next_use)
 {
@@ -311,6 +438,15 @@ PartitionedCache::resetStats()
         assocDist_[p].clear();
         deviation_[p].clear();
     }
+    // The sampling phase is statistics state too: leaving the
+    // eviction countdown mid-interval would make the first measured
+    // deviation sample land early by however far warmup had already
+    // advanced it, skewing sparse-sampled occupancy statistics.
+    evictionsSinceSample_ = 0;
+    // accessTick_ deliberately keeps running: it paces watchdog
+    // polls, breadcrumbs and audit strides — progress markers, not
+    // statistics — and resetting it would shift every subsequent
+    // FS_AUDIT/FS_SHADOW stride relative to a run without a reset.
 }
 
 } // namespace fscache

@@ -34,6 +34,8 @@ namespace check
 class ShadowCache;
 } // namespace check
 
+struct AccessBatch;
+
 /** Hit/miss/insertion/eviction counters for one partition. */
 struct CachePartStats
 {
@@ -96,6 +98,21 @@ class PartitionedCache : public PartitionOps
     AccessOutcome access(PartId part, Addr addr,
                          AccessTime next_use = kNeverUsed);
 
+    /**
+     * Replay a batch of accesses (sim/access_batch.hh) and record
+     * each outcome in batch.outcome.
+     *
+     * Strictly equivalent to calling access() once per record in
+     * order — replay order IS the spec; every counter, golden hash,
+     * FS_AUDIT stride and FS_SHADOW comparison lands on the same
+     * access tick as the serial loop. The batch form only buys the
+     * engine room to soften memory latency: the address-index probe
+     * of record i+K is prefetched while record i resolves, and the
+     * hit-dominant arm runs in a loop with the self-check gate
+     * hoisted out.
+     */
+    void accessBatch(AccessBatch &batch);
+
     std::uint32_t numPartitions() const { return numParts_; }
 
     const CachePartStats &stats(PartId part) const
@@ -149,6 +166,16 @@ class PartitionedCache : public PartitionOps
   private:
     void buildCandidates(Addr addr);
 
+    /**
+     * The miss path of access(): stats, placement, eviction,
+     * install, deviation sampling. Shared verbatim by access() and
+     * accessBatch() so the two entry points cannot drift — byte
+     * identity between serial and batched replay reduces to the
+     * shared lookup/hit prefix.
+     */
+    AccessOutcome accessMiss(PartId part, Addr addr,
+                             AccessTime next_use);
+
     // Self-checking (src/check; cold — see access() for the single
     // cached-bool gate that keeps the hot path clean).
     void selfCheckHit(LineId id, PartId part, Addr addr,
@@ -156,6 +183,9 @@ class PartitionedCache : public PartitionOps
     void selfCheckMiss(PartId part, Addr addr);
     void selfCheckEviction(Addr addr, PartId part, LineId victim,
                            PartId owner, double fut);
+    /** FS_SHADOW: recompute the scheme's argmax over candBuf_ and
+     *  verify `chosen` is a legal victim (sim/victim_check.hh). */
+    void selfCheckVictimChoice(std::uint32_t chosen, PartId incoming);
     void selfCheckInstall(LineId slot, PartId part, Addr addr,
                           AccessTime next_use);
     void runAudits();

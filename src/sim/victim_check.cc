@@ -1,0 +1,162 @@
+#include "sim/victim_check.hh"
+
+#include <limits>
+
+#include "common/log.hh"
+#include "partition/futility_scaling_analytic.hh"
+#include "partition/futility_scaling_feedback.hh"
+#include "partition/partition_scheme.hh"
+#include "partition/partitioning_first_scheme.hh"
+#include "partition/unpartitioned_scheme.hh"
+
+namespace fscache
+{
+namespace check
+{
+
+namespace
+{
+
+std::string
+mismatch(const char *rule, const CandidateVec &cands,
+         std::uint32_t chosen, std::uint32_t want)
+{
+    const Candidate &w = cands[want];
+    const Candidate &c = cands[chosen];
+    return strprintf(
+        "%s argmax is candidate %u (line %u, part %u, futility "
+        "%.17g) but the scheme chose candidate %u (line %u, part "
+        "%u, futility %.17g)",
+        rule, want, w.line, static_cast<unsigned>(w.part),
+        w.futility, chosen, c.line, static_cast<unsigned>(c.part),
+        c.futility);
+}
+
+/** Unpartitioned: plain futility argmax, first index on ties. */
+std::uint32_t
+replayUnpartitioned(const CandidateVec &cands)
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < cands.size(); ++i)
+        if (cands[i].futility > cands[best].futility)
+            best = i;
+    return best;
+}
+
+/**
+ * FS (analytic and feedback): scaled-futility argmax over the
+ * candidates whose partition has a scaling register, first index on
+ * ties. `factor(part)` reads the scheme's public register view —
+ * the same value its private selectVictim() multiplied by, so the
+ * replay is bit-for-bit.
+ */
+template <typename FactorFn>
+std::uint32_t
+replayScaled(const CandidateVec &cands, std::uint32_t num_parts,
+             FactorFn factor)
+{
+    std::uint32_t best = 0;
+    double best_scaled = -1.0;
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].part >= num_parts)
+            continue;
+        double scaled = cands[i].futility * factor(cands[i].part);
+        if (scaled > best_scaled) {
+            best_scaled = scaled;
+            best = i;
+        }
+    }
+    return best;
+}
+
+/** PF: most-oversized candidate partition, then futility argmax
+ *  within it (Algorithm 1's two steps, same tiebreaks). */
+std::uint32_t
+replayPartitioningFirst(const PartitionScheme &scheme,
+                        const PartitionOps &ops,
+                        const CandidateVec &cands)
+{
+    double max_over = -std::numeric_limits<double>::infinity();
+    PartId chosen_part = kInvalidPart;
+    for (const Candidate &c : cands) {
+        if (c.part == kInvalidPart)
+            continue;
+        double over = static_cast<double>(ops.actualSize(c.part)) -
+                      static_cast<double>(scheme.target(c.part));
+        if (over > max_over) {
+            max_over = over;
+            chosen_part = c.part;
+        }
+    }
+    std::uint32_t best = 0;
+    double best_fut = -1.0;
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        if (cands[i].part != chosen_part)
+            continue;
+        if (cands[i].futility > best_fut) {
+            best_fut = cands[i].futility;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::string
+verifyVictimChoice(const PartitionScheme &scheme,
+                   const PartitionOps &ops, const CandidateVec &cands,
+                   std::uint32_t chosen, std::uint32_t num_parts)
+{
+    if (chosen >= cands.size()) {
+        return strprintf("chosen index %u out of range (%zu "
+                         "candidates)", chosen, cands.size());
+    }
+
+    if (dynamic_cast<const UnpartitionedScheme *>(&scheme) !=
+        nullptr) {
+        std::uint32_t want = replayUnpartitioned(cands);
+        if (want != chosen)
+            return mismatch("unpartitioned", cands, chosen, want);
+        return std::string();
+    }
+
+    if (const auto *fb =
+            dynamic_cast<const FutilityScalingFeedback *>(&scheme)) {
+        std::uint32_t want =
+            replayScaled(cands, num_parts, [fb](PartId p) {
+                return fb->scalingFactor(p);
+            });
+        if (want != chosen)
+            return mismatch("scaled-futility", cands, chosen, want);
+        return std::string();
+    }
+
+    if (const auto *an =
+            dynamic_cast<const FutilityScalingAnalytic *>(&scheme)) {
+        std::uint32_t want =
+            replayScaled(cands, num_parts, [an](PartId p) {
+                return an->scalingFactor(p);
+            });
+        if (want != chosen)
+            return mismatch("scaled-futility", cands, chosen, want);
+        return std::string();
+    }
+
+    if (dynamic_cast<const PartitioningFirstScheme *>(&scheme) !=
+        nullptr) {
+        std::uint32_t want =
+            replayPartitioningFirst(scheme, ops, cands);
+        if (want != chosen)
+            return mismatch("partitioning-first", cands, chosen,
+                            want);
+        return std::string();
+    }
+
+    // Vantage / Prism / way partitioning: selection depends on
+    // state this replica cannot observe without perturbing it.
+    return std::string();
+}
+
+} // namespace check
+} // namespace fscache

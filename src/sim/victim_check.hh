@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Victim-choice verification (FS_SHADOW; see docs/ROBUSTNESS.md).
+ *
+ * The shadow model replays every access against a reference cache,
+ * but it historically *trusted* the scheme's selectVictim() — a
+ * corrupted scaling register or occupancy counter could steer
+ * eviction toward a wrong-but-valid line and the divergence would
+ * only surface many accesses later (or never, if the shadow evicted
+ * the same line for the wrong reason). This unit closes that gap:
+ * for every scheme whose victim rule is a pure function of the
+ * candidate list and publicly observable state, it recomputes the
+ * argmax independently and confirms the scheme's choice.
+ *
+ * Schemes with private or stateful selection (Vantage demotes
+ * during selectVictim, Prism consumes its RNG, way partitioning
+ * keeps private ownership masks) are skipped — verification must
+ * never perturb or guess at state it cannot observe.
+ */
+
+#ifndef FSCACHE_SIM_VICTIM_CHECK_HH
+#define FSCACHE_SIM_VICTIM_CHECK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/candidate.hh"
+#include "common/types.hh"
+
+namespace fscache
+{
+
+class PartitionScheme;
+class PartitionOps;
+
+namespace check
+{
+
+/**
+ * Verify that `chosen` is the victim the scheme's selection rule
+ * yields for `cands`: the same argmax, same strict-greater
+ * comparisons, same first-index tiebreak, same skip conditions as
+ * the scheme's own selectVictim(). Must be called after
+ * selectVictim() and before any resulting mutation, so occupancy
+ * reads match what the scheme saw.
+ *
+ * @return "" when the choice is legal (or the scheme is not
+ *         verifiable), else a description of the violation.
+ */
+std::string verifyVictimChoice(const PartitionScheme &scheme,
+                               const PartitionOps &ops,
+                               const CandidateVec &cands,
+                               std::uint32_t chosen,
+                               std::uint32_t num_parts);
+
+} // namespace check
+} // namespace fscache
+
+#endif // FSCACHE_SIM_VICTIM_CHECK_HH

@@ -34,6 +34,15 @@ class StreamGenerator : public TraceSource
                     std::uint32_t mean_instr_gap, Rng rng);
 
     Access next() override;
+
+    /** Bulk pull with the virtual dispatch hoisted out of the loop. */
+    void
+    fillBatch(Access *dst, std::uint64_t n) override
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            dst[i] = StreamGenerator::next();
+    }
+
     std::string name() const override { return "stream"; }
 
   private:

@@ -11,9 +11,11 @@ TraceBuffer
 TraceBuffer::capture(TraceSource &source, std::uint64_t count)
 {
     TraceBuffer buf;
-    buf.accesses_.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i)
-        buf.accesses_.push_back(source.next());
+    // fillBatch is specified to return exactly what `count` next()
+    // calls would, so capture order (and every downstream golden)
+    // is unchanged by the bulk pull.
+    buf.accesses_.resize(count);
+    source.fillBatch(buf.accesses_.data(), count);
     return buf;
 }
 

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Batched access pipeline tests (sim/access_batch.hh): byte-identity
+ * of accessBatch() against the per-access API at batch sizes that
+ * cover the degenerate, prefetch-window-straddling and tail cases,
+ * the same identity under paranoid audits + shadow model, the
+ * batched runUntimed driver against a hand-written per-access
+ * round-robin reference, and the resetStats regression for the
+ * deviation-sampling countdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/audit.hh"
+#include "common/random.hh"
+#include "sim/access_batch.hh"
+#include "sim/experiment.hh"
+#include "trace/workload.hh"
+
+namespace fscache
+{
+namespace
+{
+
+/** Restores global check state however a test exits. */
+class AccessBatchFixture : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        check::setAuditLevelForTest(check::AuditLevel::Off);
+        check::setShadowModeForTest(false);
+    }
+};
+
+using BatchIdentity = AccessBatchFixture;
+
+CacheSpec
+batchSpec()
+{
+    CacheSpec spec;
+    spec.array.kind = ArrayKind::SetAssoc;
+    spec.array.numLines = 256;
+    spec.array.ways = 16;
+    spec.ranking = RankKind::CoarseTsLru;
+    spec.scheme.kind = SchemeKind::Fs;
+    spec.numParts = 2;
+    spec.seed = 11;
+    return spec;
+}
+
+struct Rec
+{
+    PartId part;
+    Addr addr;
+};
+
+/** Deterministic two-partition stream with a working set larger
+ *  than the cache: a mix of hits, misses and evictions, and long
+ *  enough (> 8192) to cross the watchdog-poll stride in both the
+ *  serial and the batched replay. */
+std::vector<Rec>
+makeStream(std::size_t n)
+{
+    Rng rng(777);
+    std::vector<Rec> recs;
+    recs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto part = static_cast<PartId>(rng.below(2));
+        Addr addr = (part + 1) * 1000000 + rng.below(600) * 64;
+        recs.push_back({part, addr});
+    }
+    return recs;
+}
+
+void
+expectSameStats(const PartitionedCache &a, const PartitionedCache &b)
+{
+    for (std::uint32_t p = 0; p < a.numPartitions(); ++p) {
+        SCOPED_TRACE(p);
+        EXPECT_EQ(a.stats(p).hits, b.stats(p).hits);
+        EXPECT_EQ(a.stats(p).misses, b.stats(p).misses);
+        EXPECT_EQ(a.stats(p).insertions, b.stats(p).insertions);
+        EXPECT_EQ(a.stats(p).evictions, b.stats(p).evictions);
+    }
+}
+
+/**
+ * The core contract: replaying the stream through accessBatch() in
+ * chunks of any size produces exactly the state and outcomes of one
+ * access() call per record. Sizes cover the degenerate batch (1),
+ * a batch smaller than the prefetch distance with a non-divisor
+ * tail (7), a chunk that leaves a short tail (999) and a single
+ * near-whole-stream batch (4096).
+ */
+TEST_F(BatchIdentity, MatchesSerialAtRepresentativeBatchSizes)
+{
+    constexpr std::size_t kStream = 10000;
+    std::vector<Rec> recs = makeStream(kStream);
+
+    auto serial = buildCache(batchSpec());
+    serial->setTargets({128, 128});
+    std::vector<AccessOutcome> want;
+    want.reserve(kStream);
+    for (const Rec &r : recs)
+        want.push_back(serial->access(r.part, r.addr));
+
+    for (std::size_t batch_size : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{999},
+                                   std::size_t{4096}}) {
+        SCOPED_TRACE(batch_size);
+        auto batched = buildCache(batchSpec());
+        batched->setTargets({128, 128});
+        AccessBatch batch;
+        batch.reserve(batch_size);
+        std::size_t checked = 0;
+        for (std::size_t base = 0; base < recs.size();
+             base += batch_size) {
+            batch.clear();
+            std::size_t end =
+                std::min(base + batch_size, recs.size());
+            for (std::size_t i = base; i < end; ++i)
+                batch.push(recs[i].part, recs[i].addr);
+            batched->accessBatch(batch);
+            ASSERT_EQ(batch.outcome.size(), end - base);
+            for (std::size_t i = base; i < end; ++i, ++checked) {
+                const AccessOutcome &got = batch.outcome[i - base];
+                ASSERT_EQ(got.hit, want[i].hit) << "record " << i;
+                ASSERT_EQ(got.evicted, want[i].evicted)
+                    << "record " << i;
+                ASSERT_EQ(got.victimOwner, want[i].victimOwner)
+                    << "record " << i;
+                ASSERT_EQ(got.victimFutility, want[i].victimFutility)
+                    << "record " << i;
+            }
+        }
+        EXPECT_EQ(checked, kStream);
+        expectSameStats(*serial, *batched);
+    }
+}
+
+TEST_F(BatchIdentity, EmptyBatchIsANoOp)
+{
+    auto cache = buildCache(batchSpec());
+    cache->setTargets({128, 128});
+    AccessBatch batch;
+    cache->accessBatch(batch);
+    EXPECT_TRUE(batch.outcome.empty());
+    EXPECT_EQ(cache->stats(0).accesses(), 0u);
+}
+
+/** The checked variant: with paranoid audits and the lockstep
+ *  shadow model on, the batched replay must run clean (no audit
+ *  failure, no divergence) and still land on the serial counters —
+ *  proving the self-check layer sees the identical access sequence. */
+TEST_F(BatchIdentity, ShadowAndParanoidAuditsStayCleanAndIdentical)
+{
+    constexpr std::size_t kStream = 10000;
+    std::vector<Rec> recs = makeStream(kStream);
+
+    auto serial = buildCache(batchSpec());
+    serial->setTargets({128, 128});
+    for (const Rec &r : recs)
+        serial->access(r.part, r.addr);
+
+    check::setAuditLevelForTest(check::AuditLevel::Paranoid);
+    check::setShadowModeForTest(true);
+    auto batched = buildCache(batchSpec());
+    batched->setTargets({128, 128});
+    AccessBatch batch;
+    ASSERT_NO_THROW({
+        for (std::size_t base = 0; base < recs.size(); base += 512) {
+            batch.clear();
+            std::size_t end = std::min(base + 512, recs.size());
+            for (std::size_t i = base; i < end; ++i)
+                batch.push(recs[i].part, recs[i].addr);
+            batched->accessBatch(batch);
+        }
+    });
+    expectSameStats(*serial, *batched);
+}
+
+/** The batched runUntimed driver against a hand-written per-access
+ *  reference: same round-robin interleave, same warmup reset point,
+ *  so every counter must match on a real generated workload. */
+TEST_F(BatchIdentity, RunUntimedMatchesPerAccessRoundRobinReference)
+{
+    Workload wl = Workload::mix({"mcf", "lbm"}, 20000, 42);
+
+    auto batched = buildCache(batchSpec());
+    batched->setTargets({128, 128});
+    runUntimed(*batched, wl, 0.2);
+
+    auto reference = buildCache(batchSpec());
+    reference->setTargets({128, 128});
+    const std::uint32_t nt = wl.threadCount();
+    std::uint64_t total = 0;
+    for (std::uint32_t t = 0; t < nt; ++t)
+        total += wl.thread(t).trace.size();
+    auto warmup = static_cast<std::uint64_t>(0.2 * total);
+    std::vector<std::uint64_t> pos(nt, 0);
+    std::uint64_t done = 0;
+    bool reset = false;
+    bool any = true;
+    while (any) {
+        any = false;
+        for (std::uint32_t t = 0; t < nt; ++t) {
+            const TraceBuffer &trace = wl.thread(t).trace;
+            if (pos[t] >= trace.size())
+                continue;
+            any = true;
+            const Access &acc = trace[pos[t]++];
+            reference->access(static_cast<PartId>(t), acc.addr,
+                              acc.nextUse);
+            if (!reset && ++done >= warmup) {
+                reference->resetStats();
+                reset = true;
+            }
+        }
+    }
+    expectSameStats(*reference, *batched);
+}
+
+/**
+ * Regression: resetStats() must also clear the deviation-sampling
+ * countdown (evictionsSinceSample_). Before the fix the countdown
+ * carried pre-reset evictions across the warmup boundary, so the
+ * first measured sample landed early — here after only two
+ * post-reset evictions instead of the configured four.
+ */
+TEST_F(BatchIdentity, ResetStatsClearsDeviationSampleCountdown)
+{
+    auto cache = buildCache(batchSpec());
+    cache->setTargets({128, 128});
+    cache->setDeviationSampleInterval(4);
+
+    auto evictions = [&cache] {
+        return cache->stats(0).evictions + cache->stats(1).evictions;
+    };
+    // Unique addresses: every access misses, and once the array is
+    // full every install evicts exactly one line.
+    Addr next_addr = 1;
+    auto evictOnce = [&] {
+        std::uint64_t before = evictions();
+        while (evictions() == before)
+            cache->access(0, next_addr++ * 64);
+    };
+
+    // Two pre-reset evictions: the countdown sits mid-interval (2 of
+    // 4) and no sample has been taken yet.
+    evictOnce();
+    evictOnce();
+    ASSERT_EQ(evictions(), 2u);
+    EXPECT_EQ(cache->deviation(0).samples(), 0u);
+
+    cache->resetStats();
+    EXPECT_EQ(cache->deviation(0).samples(), 0u);
+
+    // The first measured sample must land on the 4th post-reset
+    // eviction — not the 2nd, which is where a carried-over
+    // countdown would put it.
+    evictOnce();
+    evictOnce();
+    evictOnce();
+    ASSERT_EQ(evictions(), 3u);
+    EXPECT_EQ(cache->deviation(0).samples(), 0u)
+        << "deviation sample countdown leaked across resetStats()";
+    evictOnce();
+    ASSERT_EQ(evictions(), 4u);
+    EXPECT_EQ(cache->deviation(0).samples(), 1u);
+}
+
+} // namespace
+} // namespace fscache

@@ -451,11 +451,83 @@ TEST_F(CorruptionInjection, UnconsumedArmDoesNotLeakAcrossCells)
     EXPECT_TRUE(report.allOk()) << report.manifest();
 }
 
+/** The ranking-treap arm: a silent subtree-size bump is navigation-
+ *  safe (descents read child sizes, never the root's), so only the
+ *  occupancy-sum audit can see it — size() IS the root's size. */
+TEST_F(CorruptionInjection, RankTreapCorruptionDetectedByAudits)
+{
+    check::setAuditLevelForTest(check::AuditLevel::Paranoid);
+    auto cache = buildCache(checkSpec());
+    cache->setTargets({128, 128});
+    driveCyclic(*cache, 1500, /*footprint=*/100);
+    ASSERT_TRUE(cache->ranking().corruptRankNodeForFaultInjection());
+    EXPECT_NE(check::auditOccupancySums(cache->array().tags(),
+                                        cache->ranking(),
+                                        cache->numPartitions()),
+              "");
+    // The damage sits in partition 0's treap (the first non-empty
+    // one) and the next mutation of that treap would recompute the
+    // root size from its children, healing it. Touch the *other*
+    // partition so the cross-structure sum audit sees the drift
+    // first — exactly how the stride audits catch it in a live run.
+    EXPECT_THROW(cache->access(1, 2 * 100000 + 1),
+                 StateCorruptionError);
+}
+
+/** The occupancy-counter arm: a drifted per-partition size feeds
+ *  every sizing decision; the cross-structure sum audit is the only
+ *  check that compares it against the ranking's ground truth. */
+TEST_F(CorruptionInjection, OccupancyCounterCorruptionDetectedByAudits)
+{
+    check::setAuditLevelForTest(check::AuditLevel::Paranoid);
+    auto cache = buildCache(checkSpec());
+    cache->setTargets({128, 128});
+    driveCyclic(*cache, 1500, /*footprint=*/100);
+    ASSERT_NE(cache->array().tags().corruptOccupancyForFaultInjection(),
+              kInvalidPart);
+    EXPECT_THROW(driveCyclic(*cache, 2048, /*footprint=*/100),
+                 StateCorruptionError);
+}
+
+/** FS_FAULTS corrupt-treap / corrupt-occ end to end, mirroring the
+ *  tag-index clause above: armed at the fault point, consumed on the
+ *  watchdog stride, quarantined FAILED(corruption). */
+TEST_F(CorruptionInjection, TreapAndOccupancyCellsQuarantined)
+{
+    for (const char *faults :
+         {"cell=0:corrupt-treap", "cell=0:corrupt-occ"}) {
+        FaultInjector::installForTest(faults);
+        check::setAuditLevelForTest(check::AuditLevel::Paranoid);
+        CellGuardConfig cfg;
+        cfg.maxAttempts = 3;
+        cfg.backoffBaseMs = 0;
+        SweepRunner runner(1);
+        auto report = runner.mapResilient(
+            2,
+            [](std::size_t cell) {
+                auto cache = buildCache(checkSpec());
+                cache->setTargets({128, 128});
+                return driveCyclic(*cache, 20000 + cell,
+                                   /*footprint=*/100);
+            },
+            cfg);
+        ASSERT_FALSE(report.cells[0].ok()) << faults;
+        EXPECT_EQ(report.cells[0].errorClass, ErrorClass::Corruption)
+            << faults;
+        EXPECT_EQ(report.cells[0].attempts, 1u) << faults;
+        EXPECT_TRUE(report.cells[1].ok()) << faults;
+    }
+}
+
 TEST_F(CorruptionInjection, CorruptClauseParses)
 {
     EXPECT_NO_THROW(FaultInjector::parse("cell=3:corrupt"));
     EXPECT_NO_THROW(
         FaultInjector::parse("cell=1:corrupt;cell=2:throw"));
+    EXPECT_NO_THROW(FaultInjector::parse("cell=4:corrupt-treap"));
+    EXPECT_NO_THROW(FaultInjector::parse("cell=5:corrupt-occ"));
+    EXPECT_NO_THROW(FaultInjector::parse(
+        "cell=0:corrupt-treap;cell=1:corrupt-occ;cell=2:corrupt"));
 }
 
 TEST(ErrorClassNames, CorruptionIsStable)

@@ -155,6 +155,47 @@ TEST(FlatMap, BackwardShiftAcrossWraparound)
     }
 }
 
+TEST(FlatMap, BackwardShiftWrapBoundaryDeterministic)
+{
+    // Constructed (non-randomized) wrap-boundary erase: build the
+    // exact cluster A@15, B@0, C@1 where A and C home to the last
+    // slot (15) and B homes to slot 0, then erase A. The backward
+    // shift must pull C across the wrap into slot 15 (its home) but
+    // leave B alone — the case where a naive non-cyclic "home <=
+    // hole" move condition either strands C (lookup loses it at the
+    // hole) or wrongly moves B before its home slot.
+    FlatMap<std::uint32_t> m(8); // capacity 16, mask 15
+    auto home = [](std::uint64_t key) {
+        return static_cast<std::size_t>(mix64(key)) & 15;
+    };
+    std::vector<std::uint64_t> home15;
+    std::uint64_t home0 = 0;
+    for (std::uint64_t k = 1; home15.size() < 2 || home0 == 0; ++k) {
+        if (home(k) == 15 && home15.size() < 2)
+            home15.push_back(k);
+        else if (home(k) == 0 && home0 == 0)
+            home0 = k;
+    }
+    const std::uint64_t a = home15[0], c = home15[1], b = home0;
+
+    m.insert(a, 1); // slot 15
+    m.insert(b, 2); // slot 0 (its home)
+    m.insert(c, 3); // probes 15, 0 (both taken) -> slot 1
+
+    ASSERT_TRUE(m.erase(a));
+    EXPECT_EQ(m.auditInvariants(), "");
+    ASSERT_NE(m.find(b), nullptr);
+    EXPECT_EQ(*m.find(b), 2u);
+    ASSERT_NE(m.find(c), nullptr);
+    EXPECT_EQ(*m.find(c), 3u);
+
+    // The survivors must still erase cleanly from their new slots.
+    EXPECT_TRUE(m.erase(c));
+    EXPECT_EQ(m.auditInvariants(), "");
+    EXPECT_TRUE(m.erase(b));
+    EXPECT_TRUE(m.empty());
+}
+
 TEST(FlatMap, SparseHigh64BitKeys)
 {
     // Real tag-store keys are full 64-bit line addresses; make sure
