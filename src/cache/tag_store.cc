@@ -10,6 +10,7 @@ TagStore::TagStore(LineId num_lines)
 {
     fs_assert(num_lines > 0, "tag store needs at least one line");
     freeList_.reserve(num_lines);
+    inFreeList_.assign(num_lines, 1);
     // Pop order is highest slot first; immaterial, but deterministic.
     for (LineId id = 0; id < num_lines; ++id)
         freeList_.push_back(id);
@@ -19,6 +20,9 @@ void
 TagStore::growPart(PartId part)
 {
     if (part >= partSize_.size())
+        // fs-analyze: allow(hot-path-alloc) grows once per
+        // newly-seen partition id, bounded by the partition count;
+        // zero growth in steady state (tests/test_hot_alloc.cc).
         partSize_.resize(part + 1, 0);
 }
 
@@ -48,7 +52,19 @@ TagStore::evict(LineId id)
     l.valid = false;
     l.addr = kInvalidAddr;
     l.part = kInvalidPart;
-    freeList_.push_back(id);
+    // The membership bitmap keeps each id listed at most once: a
+    // stale entry (the slot was reused while listed) simply becomes
+    // live again now that the line is invalid. Restricted-placement
+    // arrays never pop, so without the bitmap the list would grow by
+    // one entry per eviction without bound.
+    if (!inFreeList_[id]) {
+        inFreeList_[id] = 1;
+        // fs-analyze: allow(hot-path-alloc) at most numLines() ids
+        // are listed (bitmap above) and capacity was reserved at
+        // construction, so this push never reallocates (witness:
+        // tests/test_hot_alloc.cc).
+        freeList_.push_back(id);
+    }
 }
 
 void
@@ -166,6 +182,7 @@ TagStore::popFree()
     while (!freeList_.empty()) {
         LineId id = freeList_.back();
         freeList_.pop_back();
+        inFreeList_[id] = 0;
         // Entries can be stale if a relocation reused the slot.
         if (!lines_[id].valid)
             return id;

@@ -128,6 +128,13 @@ class TagStore
     FlatMap<LineId> byAddr_;
     std::vector<std::uint32_t> partSize_;
     std::vector<LineId> freeList_;
+    // Membership bitmap for freeList_: each id is listed at most
+    // once, so the list's size (and reserved capacity) is bounded by
+    // numLines_ — evict() never reallocates. Without it, restricted-
+    // placement arrays (which install straight into the victim slot
+    // and never call popFree) would push one entry per eviction,
+    // growing the list without bound.
+    std::vector<char> inFreeList_;
     LineId validCount_ = 0;
 };
 

@@ -76,7 +76,7 @@ setShadowModeForTest(bool enabled)
                                std::memory_order_relaxed);
 }
 
-void
+FS_COLD void
 auditFail(const char *where, const std::string &detail)
 {
     throw StateCorruptionError(

@@ -36,6 +36,8 @@
 #include <atomic>
 #include <string>
 
+#include "common/annotations.hh"
+
 namespace fscache
 {
 namespace check
@@ -106,8 +108,8 @@ void setShadowModeForTest(bool enabled);
  * the audited component, `detail` is the first violation found
  * (becomes the manifest-attached report).
  */
-[[noreturn]] void auditFail(const char *where,
-                            const std::string &detail);
+[[noreturn]] FS_COLD void auditFail(const char *where,
+                                    const std::string &detail);
 
 } // namespace check
 } // namespace fscache

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 
 namespace fscache
@@ -64,12 +65,14 @@ class ShadowCache
                 std::uint32_t num_parts);
 
     // --- mutation mirrors (call after the real mutation) ---------
-    void onInstall(LineId slot, Addr addr, PartId part,
-                   AccessTime next_use);
-    void onHit(LineId slot, AccessTime next_use);
-    void onEvict(LineId slot);
-    void onRelocate(LineId from, LineId to);
-    void onRetag(LineId slot, PartId to_part);
+    // FS_COLD: the shadow model only runs under FS_SHADOW=1; a
+    // diagnostic mode may allocate (no-alloc-on-hot-path contract).
+    FS_COLD void onInstall(LineId slot, Addr addr, PartId part,
+                           AccessTime next_use);
+    FS_COLD void onHit(LineId slot, AccessTime next_use);
+    FS_COLD void onEvict(LineId slot);
+    FS_COLD void onRelocate(LineId from, LineId to);
+    FS_COLD void onRetag(LineId slot, PartId to_part);
 
     // --- lockstep checks (throw StateCorruptionError) ------------
 

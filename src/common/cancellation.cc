@@ -72,6 +72,8 @@ pollCancellationSlow(CancelState *state)
         // getting the timeout error (not the generic cancel) once
         // its watchdog fired.
         if (state->budgetNs() > 0)
+            // fs-analyze: allow(hot-path-alloc) throwing exit: the
+            // message is built only when the cell is being killed.
             throw CellTimeoutError(strprintf(
                 "cell exceeded its %llu ms watchdog deadline",
                 static_cast<unsigned long long>(state->budgetNs() /
@@ -79,6 +81,7 @@ pollCancellationSlow(CancelState *state)
         throw CellCancelledError("cell was cancelled");
     }
     if (state->expired())
+        // fs-analyze: allow(hot-path-alloc) throwing exit (above).
         throw CellTimeoutError(strprintf(
             "cell exceeded its %llu ms watchdog deadline",
             static_cast<unsigned long long>(state->budgetNs() /

@@ -129,6 +129,9 @@ class OrderStatTreap
     {
         std::uint32_t node = detach(key);
         fs_assert(node != kNil, "erase of absent key");
+        // fs-analyze: allow(hot-path-alloc) freeList_ never holds
+        // more ids than nodes_ has slots; capacity saturates at
+        // the pool high-water mark (tests/test_hot_alloc.cc).
         freeList_.push_back(node);
     }
 
@@ -481,7 +484,26 @@ class OrderStatTreap
             freeList_.pop_back();
         } else {
             idx = static_cast<std::uint32_t>(nodes_.size());
+            // fs-analyze: allow(hot-path-alloc) node-pool growth:
+            // erase() recycles via freeList_, so the pool only
+            // grows until the working set's high-water mark, then
+            // allocation stops (tests/test_hot_alloc.cc).
             nodes_.emplace_back();
+            // Descent depth is bounded by the live node count, but a
+            // randomized treap can set a new depth high-water long
+            // after the pool stops growing; sizing the spine buffer
+            // to the pool here keeps every later descent
+            // allocation-free.
+            if (path_.capacity() < nodes_.size())
+                // fs-analyze: allow(hot-path-alloc) amortized with
+                // pool growth above; stops at the high-water mark.
+                path_.reserve(nodes_.capacity());
+            // merge()/splitInto() thread both subtree spines through
+            // scratch_, so its worst case is twice a single descent.
+            if (scratch_.capacity() < 2 * nodes_.size())
+                // fs-analyze: allow(hot-path-alloc) same
+                // amortization as path_ above.
+                scratch_.reserve(2 * nodes_.capacity());
         }
         Node &n = nodes_[idx];
         n.key = key;
@@ -520,6 +542,9 @@ class OrderStatTreap
         while (*link != kNil &&
                nodes_[*link].prio > nodes_[node].prio) {
             std::uint32_t n = *link;
+            // fs-analyze: allow(hot-path-alloc) path_ is a reused
+            // spine buffer; capacity is bounded by the expected
+            // O(log n) treap depth (tests/test_hot_alloc.cc).
             path_.push_back(n);
             link = key < nodes_[n].key ? &nodes_[n].left
                                        : &nodes_[n].right;
@@ -550,6 +575,8 @@ class OrderStatTreap
         while (*link != kNil &&
                nodes_[*link].prio > nodes_[node].prio) {
             std::uint32_t n = *link;
+            // fs-analyze: allow(hot-path-alloc) reused spine
+            // buffer, depth-bounded (see insertNode).
             path_.push_back(n);
             link = &nodes_[n].right;
         }
@@ -608,9 +635,12 @@ class OrderStatTreap
         while (*link != kNil) {
             std::uint32_t n = *link;
             if (key < nodes_[n].key) {
+                // fs-analyze: allow(hot-path-alloc) reused spine
+                // buffer, depth-bounded (see insertNode).
                 path_.push_back(n);
                 link = &nodes_[n].left;
             } else if (nodes_[n].key < key) {
+                // fs-analyze: allow(hot-path-alloc) see above.
                 path_.push_back(n);
                 link = &nodes_[n].right;
             } else {
@@ -640,6 +670,8 @@ class OrderStatTreap
         std::uint32_t *hi_link = &hi;
         scratch_.clear();
         while (node != kNil) {
+            // fs-analyze: allow(hot-path-alloc) reused split/merge
+            // spine buffer, depth-bounded (see insertNode).
             scratch_.push_back(node);
             if (nodes_[node].key < key) {
                 *lo_link = node;
@@ -679,11 +711,14 @@ class OrderStatTreap
             }
             if (nodes_[a].prio > nodes_[b].prio) {
                 *link = a;
+                // fs-analyze: allow(hot-path-alloc) reused merge
+                // spine buffer, depth-bounded (see insertNode).
                 scratch_.push_back(a);
                 link = &nodes_[a].right;
                 a = nodes_[a].right;
             } else {
                 *link = b;
+                // fs-analyze: allow(hot-path-alloc) see above.
                 scratch_.push_back(b);
                 link = &nodes_[b].left;
                 b = nodes_[b].left;

@@ -41,6 +41,10 @@ class WayPartitionScheme : public PartitionScheme
     /** Owner partition of a way (after target assignment). */
     PartId wayOwner(std::uint32_t way) const { return owner_[way]; }
 
+    /** Associativity this scheme was built for; selectVictim()
+     *  requires exactly this many candidates, in way order. */
+    std::uint32_t ways() const { return ways_; }
+
     std::string name() const override { return "waypart"; }
 
   private:

@@ -15,8 +15,12 @@ OrderStatTreap<TreapRankingBase::Key> &
 TreapRankingBase::treapFor(PartId part)
 {
     if (part >= treaps_.size()) {
+        // fs-analyze: allow(hot-path-alloc) one-time growth per
+        // newly-seen partition id, bounded by the partition count
+        // (witness: tests/test_hot_alloc.cc).
         treaps_.reserve(part + 1);
         while (treaps_.size() <= part)
+            // fs-analyze: allow(hot-path-alloc) see above.
             treaps_.emplace_back(0x74726561ull + treaps_.size());
     }
     return treaps_[part];

@@ -116,6 +116,9 @@ PartitionedCache::buildCandidates(Addr addr)
             LineId worst = ranking_->worstIn(static_cast<PartId>(p));
             if (worst == kInvalidLine)
                 continue;
+            // fs-analyze: allow(hot-path-alloc) candBuf_ is the
+            // reused candidate buffer; capacity saturates at the
+            // associativity (witness: tests/test_hot_alloc.cc).
             candBuf_.push_back({worst, tags.line(worst).part,
                                 ranking_->schemeFutility(worst)});
         }
@@ -128,9 +131,12 @@ PartitionedCache::buildCandidates(Addr addr)
     for (LineId slot : slotBuf_) {
         const Line &l = tags.line(slot);
         if (l.valid) {
+            // fs-analyze: allow(hot-path-alloc) reused candidate
+            // buffer, capacity-bounded (see above).
             candBuf_.push_back(
                 {slot, l.part, ranking_->schemeFutility(slot)});
         } else {
+            // fs-analyze: allow(hot-path-alloc) see above.
             candBuf_.push_back({slot, kInvalidPart, -1.0});
         }
     }
@@ -168,6 +174,9 @@ void
 PartitionedCache::accessBatch(AccessBatch &batch)
 {
     const std::size_t n = batch.size();
+    // fs-analyze: allow(hot-path-alloc) sizes the caller's reused
+    // outcome array; capacity saturates at the largest batch the
+    // driver replays (witness: tests/test_hot_alloc.cc).
     batch.outcome.resize(n);
     TagStore &tags = array_->tags();
 
@@ -397,7 +406,7 @@ PartitionedCache::selfCheckVictimChoice(std::uint32_t chosen,
                                         PartId incoming)
 {
     std::string err = check::verifyVictimChoice(
-        *scheme_, *this, candBuf_, chosen, numParts_);
+        *scheme_, *this, candBuf_, chosen, numParts_, incoming);
     if (err.empty()) [[likely]]
         return;
     // A wrong-but-valid victim means the scheme's decision inputs

@@ -21,6 +21,7 @@
 
 #include "cache/cache_array.hh"
 #include "cache/candidate.hh"
+#include "common/annotations.hh"
 #include "partition/partition_scheme.hh"
 #include "ranking/futility_ranking.hh"
 #include "stats/assoc_distribution.hh"
@@ -176,19 +177,23 @@ class PartitionedCache : public PartitionOps
     AccessOutcome accessMiss(PartId part, Addr addr,
                              AccessTime next_use);
 
-    // Self-checking (src/check; cold — see access() for the single
-    // cached-bool gate that keeps the hot path clean).
-    void selfCheckHit(LineId id, PartId part, Addr addr,
-                      AccessTime next_use);
-    void selfCheckMiss(PartId part, Addr addr);
-    void selfCheckEviction(Addr addr, PartId part, LineId victim,
-                           PartId owner, double fut);
+    // Self-checking (src/check; FS_COLD — only active under
+    // FS_AUDIT/FS_SHADOW; see access() for the single cached-bool
+    // gate that keeps the hot path clean. The no-alloc-on-hot-path
+    // pass stops at these: diagnostic mode may allocate freely).
+    FS_COLD void selfCheckHit(LineId id, PartId part, Addr addr,
+                              AccessTime next_use);
+    FS_COLD void selfCheckMiss(PartId part, Addr addr);
+    FS_COLD void selfCheckEviction(Addr addr, PartId part,
+                                   LineId victim, PartId owner,
+                                   double fut);
     /** FS_SHADOW: recompute the scheme's argmax over candBuf_ and
      *  verify `chosen` is a legal victim (sim/victim_check.hh). */
-    void selfCheckVictimChoice(std::uint32_t chosen, PartId incoming);
-    void selfCheckInstall(LineId slot, PartId part, Addr addr,
-                          AccessTime next_use);
-    void runAudits();
+    FS_COLD void selfCheckVictimChoice(std::uint32_t chosen,
+                                       PartId incoming);
+    FS_COLD void selfCheckInstall(LineId slot, PartId part,
+                                  Addr addr, AccessTime next_use);
+    FS_COLD void runAudits();
     void pollSlowChecks();
 
     std::unique_ptr<CacheArray> array_;

@@ -8,6 +8,7 @@
 #include "partition/partition_scheme.hh"
 #include "partition/partitioning_first_scheme.hh"
 #include "partition/unpartitioned_scheme.hh"
+#include "partition/way_partition_scheme.hh"
 
 namespace fscache
 {
@@ -101,12 +102,50 @@ replayPartitioningFirst(const PartitionScheme &scheme,
     return best;
 }
 
+/**
+ * Way partitioning: futility argmax restricted to the ways the
+ * incoming partition owns (candidate order is way order), strict
+ * greater-than, first owned index on ties — mirroring
+ * WayPartitionScheme::selectVictim exactly, ownership read through
+ * the public wayOwner() view.
+ */
+std::string
+replayWayPart(const WayPartitionScheme &wp, const CandidateVec &cands,
+              std::uint32_t chosen, PartId incoming)
+{
+    if (cands.size() != wp.ways()) {
+        return strprintf(
+            "way-partitioned selection over %zu candidates, but the "
+            "scheme was built for %u ways", cands.size(), wp.ways());
+    }
+    std::int64_t best = -1;
+    double best_fut = -1.0;
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        if (wp.wayOwner(i) != incoming)
+            continue;
+        if (cands[i].futility > best_fut) {
+            best_fut = cands[i].futility;
+            best = i;
+        }
+    }
+    if (best < 0) {
+        return strprintf("incoming partition %u owns no candidate "
+                         "way", static_cast<unsigned>(incoming));
+    }
+    if (static_cast<std::uint32_t>(best) != chosen) {
+        return mismatch("way-partition", cands, chosen,
+                        static_cast<std::uint32_t>(best));
+    }
+    return std::string();
+}
+
 } // namespace
 
 std::string
 verifyVictimChoice(const PartitionScheme &scheme,
                    const PartitionOps &ops, const CandidateVec &cands,
-                   std::uint32_t chosen, std::uint32_t num_parts)
+                   std::uint32_t chosen, std::uint32_t num_parts,
+                   PartId incoming)
 {
     if (chosen >= cands.size()) {
         return strprintf("chosen index %u out of range (%zu "
@@ -153,8 +192,13 @@ verifyVictimChoice(const PartitionScheme &scheme,
         return std::string();
     }
 
-    // Vantage / Prism / way partitioning: selection depends on
-    // state this replica cannot observe without perturbing it.
+    if (const auto *wp =
+            dynamic_cast<const WayPartitionScheme *>(&scheme))
+        return replayWayPart(*wp, cands, chosen, incoming);
+
+    // Vantage / Prism: selection depends on state this replica
+    // cannot observe without perturbing it (demotion during
+    // selection, RNG draws).
     return std::string();
 }
 

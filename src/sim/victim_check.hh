@@ -13,9 +13,10 @@
  * argmax independently and confirms the scheme's choice.
  *
  * Schemes with private or stateful selection (Vantage demotes
- * during selectVictim, Prism consumes its RNG, way partitioning
- * keeps private ownership masks) are skipped — verification must
- * never perturb or guess at state it cannot observe.
+ * during selectVictim, Prism consumes its RNG) are skipped —
+ * verification must never perturb or guess at state it cannot
+ * observe. Way partitioning exposes its ownership mask through
+ * wayOwner()/ways(), so its way-restricted argmax is replayed too.
  */
 
 #ifndef FSCACHE_SIM_VICTIM_CHECK_HH
@@ -42,7 +43,9 @@ namespace check
  * comparisons, same first-index tiebreak, same skip conditions as
  * the scheme's own selectVictim(). Must be called after
  * selectVictim() and before any resulting mutation, so occupancy
- * reads match what the scheme saw.
+ * reads match what the scheme saw. `incoming` is the partition the
+ * miss is installing for — way partitioning restricts the argmax to
+ * its ways.
  *
  * @return "" when the choice is legal (or the scheme is not
  *         verifiable), else a description of the violation.
@@ -51,7 +54,8 @@ std::string verifyVictimChoice(const PartitionScheme &scheme,
                                const PartitionOps &ops,
                                const CandidateVec &cands,
                                std::uint32_t chosen,
-                               std::uint32_t num_parts);
+                               std::uint32_t num_parts,
+                               PartId incoming);
 
 } // namespace check
 } // namespace fscache

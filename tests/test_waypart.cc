@@ -1,15 +1,18 @@
 /**
  * @file
  * Way-partitioning tests: apportionment of ways to targets,
- * placement restriction, and end-to-end isolation on a
- * set-associative array.
+ * placement restriction, end-to-end isolation on a set-associative
+ * array, and the shadow victim-choice replay (sim/victim_check)
+ * against the way-ownership mask.
  */
 
 #include <gtest/gtest.h>
 
 #include "cache/set_assoc_array.hh"
+#include "check/audit.hh"
 #include "partition/way_partition_scheme.hh"
 #include "sim/experiment.hh"
+#include "sim/victim_check.hh"
 
 namespace fscache
 {
@@ -123,6 +126,84 @@ TEST(WayPart, EndToEndPlacementIsolation)
     // Occupancies track the way split (12/16 and 4/16 of lines).
     EXPECT_NEAR(cache->actualSize(0), 768.0, 16.0);
     EXPECT_NEAR(cache->actualSize(1), 256.0, 16.0);
+}
+
+/** The victim-check replay agrees with selectVictim on every owned
+ *  way and flags a deliberately wrong choice. */
+TEST(WayPart, VictimCheckReplaysOwnershipRestrictedArgmax)
+{
+    MockOps ops;
+    WayPartitionScheme s(4);
+    s.bind(&ops, 2);
+    s.setTarget(0, 100);
+    s.setTarget(1, 100);
+    // Ways 0,1 -> partition 0; ways 2,3 -> partition 1.
+    CandidateVec c{{10, 0, 0.1}, {11, 0, 0.2}, {12, 1, 0.99},
+                   {13, 1, 0.98}};
+
+    for (PartId incoming = 0; incoming < 2; ++incoming) {
+        std::uint32_t chosen = s.selectVictim(c, incoming);
+        EXPECT_EQ(check::verifyVictimChoice(s, ops, c, chosen, 2,
+                                            incoming),
+                  "");
+    }
+    // Way 2 is the global futility argmax but belongs to partition
+    // 1 — the replay must reject it for partition 0.
+    EXPECT_NE(check::verifyVictimChoice(s, ops, c, 2, 2, 0), "");
+    // A candidate list that is not one-per-way is a contract
+    // violation the replay reports rather than trusts.
+    CandidateVec short_list{{10, 0, 0.1}, {11, 0, 0.2}};
+    EXPECT_NE(check::verifyVictimChoice(s, ops, short_list, 0, 2, 0),
+              "");
+}
+
+/** First-index tiebreak: equal futilities within the owned ways must
+ *  replay to the earliest owned way, exactly like selectVictim. */
+TEST(WayPart, VictimCheckMatchesFirstIndexTiebreak)
+{
+    MockOps ops;
+    WayPartitionScheme s(4);
+    s.bind(&ops, 2);
+    s.setTarget(0, 100);
+    s.setTarget(1, 100);
+    CandidateVec c{{10, 0, 0.5}, {11, 0, 0.5}, {12, 1, 0.5},
+                   {13, 1, 0.5}};
+    std::uint32_t chosen = s.selectVictim(c, 0);
+    EXPECT_EQ(chosen, 0u);
+    EXPECT_EQ(check::verifyVictimChoice(s, ops, c, chosen, 2, 0), "");
+    EXPECT_NE(check::verifyVictimChoice(s, ops, c, 1, 2, 0), "");
+}
+
+/** Lockstep e2e: a full way-partitioned run with the shadow model
+ *  (and with it the victim-choice replay at every eviction) must run
+ *  clean — the replay and the scheme agree access for access. */
+TEST(WayPart, ShadowLockstepRunsCleanEndToEnd)
+{
+    check::setShadowModeForTest(true);
+    {
+        CacheSpec spec;
+        spec.array.kind = ArrayKind::SetAssoc;
+        spec.array.numLines = 1024;
+        spec.array.ways = 16;
+        spec.ranking = RankKind::ExactLru;
+        spec.scheme.kind = SchemeKind::WayPart;
+        spec.numParts = 2;
+        auto cache = buildCache(spec);
+        cache->setTargets({768, 256});
+
+        Rng rng(5);
+        ASSERT_NO_THROW({
+            for (int i = 0; i < 30000; ++i) {
+                auto part = static_cast<PartId>(rng.below(2));
+                cache->access(part,
+                              (part + 1) * 100000 + rng.below(3000));
+            }
+        });
+        EXPECT_GT(cache->stats(0).evictions +
+                      cache->stats(1).evictions,
+                  0u);
+    }
+    check::setShadowModeForTest(false);
 }
 
 TEST(WayPart, RebalanceOnTargetChange)

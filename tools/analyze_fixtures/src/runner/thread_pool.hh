@@ -1,0 +1,8 @@
+/** Stub header so bad_layering.cc's back-edge include resolves
+ *  under the clang frontend; the layering pass only looks at the
+ *  include line itself. */
+
+#ifndef FSCACHE_ANALYZE_FIXTURE_RUNNER_THREAD_POOL_HH
+#define FSCACHE_ANALYZE_FIXTURE_RUNNER_THREAD_POOL_HH
+
+#endif // FSCACHE_ANALYZE_FIXTURE_RUNNER_THREAD_POOL_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * layering-pass fixture (tools/fscache_analyze.py --self-test):
+ * src/stats is a leaf-adjacent layer (may include only common), so
+ * both quoted includes below are back-edges in the subsystem DAG.
+ *
+ * Expected findings:
+ *   - sim/partitioned_cache.hh (stats -> sim back-edge)
+ *   - runner/thread_pool.hh (stats -> runner back-edge)
+ */
+
+#include "runner/thread_pool.hh"
+#include "sim/partitioned_cache.hh"
+
+#include "common/annotations.hh" // fine: common is below every layer
+
+namespace fscache
+{
+
+double
+badLayeringFixture()
+{
+    return 0.0;
+}
+
+} // namespace fscache

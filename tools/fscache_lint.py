@@ -28,8 +28,10 @@ unordered-aggregation
 
 float-accum
     Accumulating into a float/double in src/stats without a named
-    policy hides a numerical-stability decision. Any `x += ...` where
-    x is float/double must carry a policy annotation (see below).
+    policy hides a numerical-stability decision. Any `x += ...` or
+    its spelled-out form `x = x + ...` where x is float/double must
+    carry a policy annotation (see below), as must std::accumulate
+    folding into a float (floating init argument or float target).
 
 hot-path-container
     src/cache, src/ranking and src/sim sit on the per-access hot
@@ -148,6 +150,18 @@ FLOAT_DECL_RE = re.compile(
 
 COMPOUND_ADD_RE = re.compile(
     r"\b([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?\s*(?:\+|-)=(?!=)")
+
+# The spelled-out form of the same accumulation: `x = x + ...` /
+# `x = x - ...`. Same hazard, historically invisible to the rule.
+SELF_ASSIGN_ADD_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?<![=!<>])=(?![=])\s*\1\s*[+\-]")
+
+# std::accumulate folds with operator+ one element at a time — the
+# exact numerical-stability decision float-accum exists to surface.
+# Flagged when the init argument is a floating literal or the result
+# lands in a declared float/double.
+ACCUMULATE_CALL_RE = re.compile(r"\bstd::accumulate\s*\(")
+FLOAT_LITERAL_RE = re.compile(r"\b\d+\.\d*(?:[eE][+-]?\d+)?[fF]?")
 
 
 class Finding:
@@ -383,6 +397,29 @@ def check_file(root: Path, path: Path, findings: list):
                            f"'{m.group(1)}' without a named policy; "
                            "annotate with // fs-lint: "
                            "float-accum(<policy>)")
+            for m in SELF_ASSIGN_ADD_RE.finditer(code):
+                if m.group(1) in accum_names:
+                    report(no, "float-accum",
+                           f"accumulation into float/double "
+                           f"'{m.group(1)}' (spelled x = x + ...) "
+                           "without a named policy; annotate with "
+                           "// fs-lint: float-accum(<policy>)")
+            if ACCUMULATE_CALL_RE.search(code):
+                tail = code[ACCUMULATE_CALL_RE.search(code).end():]
+                target = re.match(
+                    r"\s*(?:double\b|float\b)?\s*([A-Za-z_]\w*)\s*=",
+                    code)
+                into_float = (
+                    FLOAT_LITERAL_RE.search(tail) is not None or
+                    (target is not None and
+                     target.group(1) in accum_names))
+                if into_float:
+                    report(no, "float-accum",
+                           "std::accumulate into float/double folds "
+                           "with operator+ element by element; name "
+                           "the policy with // fs-lint: "
+                           "float-accum(<policy>) or use a "
+                           "compensated sum")
 
 
 def scan(root: Path, files=None) -> list:
@@ -394,10 +431,14 @@ def scan(root: Path, files=None) -> list:
             if d.is_dir():
                 files.extend(p for p in d.rglob("*")
                              if p.suffix in (".cc", ".hh"))
-        # The bundled bad-snippet fixtures are *supposed* to fail.
-        fixtures = root / "tools" / "lint_fixtures"
+        # The bundled bad-snippet fixtures are *supposed* to fail
+        # (lint_fixtures for this linter, analyze_fixtures for the
+        # semantic analyzer's self-test).
+        lint_fx = root / "tools" / "lint_fixtures"
+        analyze_fx = root / "tools" / "analyze_fixtures"
         files = sorted(p for p in files
-                       if fixtures not in p.parents)
+                       if lint_fx not in p.parents
+                       and analyze_fx not in p.parents)
     for f in files:
         check_file(root, f, findings)
     return findings
@@ -433,6 +474,8 @@ def self_test(repo_root: Path) -> int:
         ("src/stats/bad_accum.cc", 15, "float-accum"),
         ("src/stats/bad_accum.cc", 23, "unordered-aggregation"),
         ("src/stats/bad_accum.cc", 32, "float-accum"),
+        ("src/stats/bad_accum.cc", 38, "float-accum"),
+        ("src/stats/bad_accum.cc", 44, "float-accum"),
         ("tools/bad_sto.cc", 9, "unchecked-sto"),
         ("tools/bad_sto.cc", 10, "unchecked-sto"),
         ("src/runner/bad_catch.cc", 11, "swallowed-exception"),

@@ -33,4 +33,22 @@ double accumulate(double acc, double v)
     return acc;
 }
 
+double compoundAssignForm(double acc, double v)
+{
+    acc = acc + v;
+    return acc;
+}
+
+double viaStdAccumulate(const std::vector<double> &xs)
+{
+    double total = std::accumulate(xs.begin(), xs.end(), 0.0);
+    return total;
+}
+
+double policedViaStdAccumulate(const std::vector<double> &xs)
+{
+    // fs-lint: float-accum(naive-sum) fixture demo
+    return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
 } // namespace fixture
