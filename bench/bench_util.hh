@@ -71,16 +71,15 @@ section(const std::string &title)
 
 /**
  * Explicit table/JSON marker for a quarantined sweep cell, e.g.
- * "FAILED(timeout)". Built from the error class only — reasons can
- * contain wall-clock-dependent text, and artifacts must stay
- * deterministic.
+ * "FAILED(timeout)" or "FAILED(crash:SIGSEGV)". Built from the
+ * error class and crash signal only — reasons can contain
+ * wall-clock-dependent text, and artifacts must stay deterministic.
  */
 template <typename R>
 std::string
 failedMarker(const CellOutcome<R> &o)
 {
-    return std::string("FAILED(") + errorClassName(o.errorClass) +
-           ")";
+    return std::string("FAILED(") + failureLabel(o) + ")";
 }
 
 /**

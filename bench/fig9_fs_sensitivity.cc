@@ -68,8 +68,12 @@ run(const FsFeedbackConfig &fs_cfg, std::uint64_t accesses)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Farm support (FS_EXECUTOR=process): capture argv for worker
+    // re-exec and strip the hidden --fs-worker flag.
+    procExecutorInit(&argc, argv);
+
     bench::banner("Section VIII (sensitivity)",
                   "FS feedback parameters: interval length l and "
                   "changing ratio, 16-subject QoS mix");

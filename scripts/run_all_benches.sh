@@ -97,6 +97,14 @@ for b in "$build_dir"/bench/*; do
     status=0
     "$b" >"$out_dir/$name.txt" 2>"$out_dir/$name.err" || status=$?
     cat "$out_dir/$name.txt"
+    # A bench that quarantined cells still exits 0 but leaves its
+    # failure manifest (FAILED(crash:SIGSEGV), worker deaths, ...)
+    # on stderr; surface it instead of silently filing it away — a
+    # sweep that lost cells must not read as a clean pass.
+    if [ -s "$out_dir/$name.err" ]; then
+        echo "-- $name stderr ($out_dir/$name.err) --" >&2
+        cat "$out_dir/$name.err" >&2
+    fi
     if [ "$status" -ne 0 ]; then
         echo "FAILED: $name exited with status $status" \
              "(stderr in $out_dir/$name.err)" >&2

@@ -36,8 +36,21 @@ errorClassName(ErrorClass cls)
         return "timeout";
       case ErrorClass::Corruption:
         return "corruption";
+      case ErrorClass::Crash:
+        return "crash";
+      case ErrorClass::HardTimeout:
+        return "hard-timeout";
     }
     return "?";
+}
+
+std::string
+failureLabel(ErrorClass cls, const std::string &crash_signal)
+{
+    std::string label = errorClassName(cls);
+    if (!crash_signal.empty())
+        label += ":" + crash_signal;
+    return label;
 }
 
 namespace detail
@@ -77,10 +90,11 @@ renderManifest(const std::vector<ManifestEntry> &entries)
     std::string out;
     out += strprintf("quarantined cells: %zu\n", entries.size());
     for (const ManifestEntry &e : entries) {
-        const char *cls = errorClassName(e.errorClass);
+        std::string cls = failureLabel(e.errorClass, e.crashSignal);
         out += strprintf("  cell %zu: %s [%s, %u attempt%s] %s\n",
-                         e.cell, cellStatusName(e.status), cls,
-                         e.attempts, e.attempts == 1 ? "" : "s",
+                         e.cell, cellStatusName(e.status),
+                         cls.c_str(), e.attempts,
+                         e.attempts == 1 ? "" : "s",
                          e.error.c_str());
         if (e.detail.empty())
             continue;

@@ -1,11 +1,15 @@
 #include "runner/checkpoint.hh"
 
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/errors.hh"
 #include "common/log.hh"
@@ -229,29 +233,61 @@ CheckpointJournal::record(std::size_t cell, const std::string &payload)
 void
 CheckpointJournal::flushLocked()
 {
+    std::string body;
+    for (const auto &[cell, payload] : entries_)
+        body += strprintf("{\"cell\":%zu,\"v\":\"%s\"}\n", cell,
+                          payload.c_str());
+
+    // Durability contract (power-loss-style kill at any instant):
+    // fsync the *data* before the rename publishes it, and fsync
+    // the *directory* after, so neither the bytes nor the rename
+    // itself can be lost to a cache that never hit disk. rename(2)
+    // alone only guarantees atomicity, not persistence.
     std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
-            warn("checkpoint: cannot write %s; cell results will "
-                 "not be resumable", tmp.c_str());
-            return;
-        }
-        for (const auto &[cell, payload] : entries_)
-            out << "{\"cell\":" << cell << ",\"v\":\"" << payload
-                << "\"}\n";
-        out.flush();
-        if (!out) {
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0666);
+    if (fd < 0) {
+        warn("checkpoint: cannot write %s; cell results will not "
+             "be resumable", tmp.c_str());
+        return;
+    }
+    const char *p = body.data();
+    std::size_t left = body.size();
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
             warn("checkpoint: short write to %s; keeping previous "
                  "journal", tmp.c_str());
+            ::close(fd);
             std::remove(tmp.c_str());
             return;
         }
+        p += n;
+        left -= static_cast<std::size_t>(n);
     }
+    if (::fsync(fd) != 0)
+        warn("checkpoint: fsync %s failed; journal may not "
+             "survive power loss", tmp.c_str());
+    ::close(fd);
+
     if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
         warn("checkpoint: rename %s -> %s failed", tmp.c_str(),
              path_.c_str());
         std::remove(tmp.c_str());
+        return;
+    }
+
+    std::size_t slash = path_.rfind('/');
+    std::string dir =
+        slash == std::string::npos ? "." : path_.substr(0, slash);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        if (::fsync(dfd) != 0)
+            warn("checkpoint: fsync directory %s failed; the "
+                 "rename may not survive power loss", dir.c_str());
+        ::close(dfd);
     }
 }
 

@@ -15,12 +15,15 @@
  *     {"cell":7,"v":"<hex-encoded payload>"}
  *
  * Durability: every record() rewrites the whole journal to a
- * temporary file and renames it over the old one — rename(2) is
- * atomic on POSIX, so a run killed at any instant leaves either the
- * previous journal or the new one, never a torn file. (Sweeps are
- * dozens of multi-second cells; the O(cells^2) total write volume
- * is noise.) A torn or foreign line is skipped on load and that
- * cell simply recomputes.
+ * temporary file, fsyncs it, renames it over the old one, and
+ * fsyncs the containing directory — rename(2) is atomic on POSIX,
+ * so a run killed at any instant leaves either the previous
+ * journal or the new one, never a torn file, and the fsync pair
+ * makes both the bytes and the rename itself survive a
+ * power-loss-style kill (rename alone guarantees atomicity, not
+ * persistence). (Sweeps are dozens of multi-second cells; the
+ * O(cells^2) total write volume is noise.) A torn or foreign line
+ * is skipped on load and that cell simply recomputes.
  *
  * Resume contract: values round-trip bit-exactly (CellEncoder
  * stores doubles by bit pattern), failed cells are never journaled

@@ -1,5 +1,6 @@
 #include "runner/sweep_runner.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <thread>
 
@@ -7,6 +8,18 @@
 
 namespace fscache
 {
+
+void
+SweepRunner::warnNoFarmWithoutCodec()
+{
+    static std::atomic<bool> warned{false};
+    if (warned.exchange(true))
+        return;
+    warn("FS_EXECUTOR=process: this sweep has no cell codec "
+         "(mapResilient without checkpoint encode/decode); results "
+         "cannot cross a process boundary, so it runs on the "
+         "thread executor instead");
+}
 
 unsigned
 SweepRunner::defaultJobs()

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -242,6 +243,42 @@ TEST_F(CheckpointTest, UndecodableRecordRecomputes)
     ASSERT_TRUE(report.allOk());
     EXPECT_EQ(executed, (std::vector<std::size_t>{1, 2}));
     EXPECT_EQ(*report.cells[1].value, cellDouble(1));
+}
+
+TEST_F(CheckpointTest, RecordSurvivesSigkillImmediatelyAfter)
+{
+    // Durability regression for the fsync-before-and-after-rename
+    // fix: once record() returns, the entry must be on disk even if
+    // the process is SIGKILLed the next instruction — no buffered
+    // tmp file waiting for a destructor, no unrenamed tmp, and no
+    // lingering *.tmp beside the journal.
+    std::string path;
+    {
+        auto probe = CheckpointJournal::openAt(dir_, "durable", "k");
+        ASSERT_NE(probe, nullptr);
+        path = probe->path();
+    }
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        auto j = CheckpointJournal::openAt(dir_, "durable", "k");
+        j->record(0, CellEncoder().f64(cellDouble(0)).result());
+        j->record(1, CellEncoder().f64(cellDouble(1)).result());
+        raise(SIGKILL); // no exit handlers, no stream flush
+        _exit(99);      // not reached
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    auto j = CheckpointJournal::openAt(dir_, "durable", "k");
+    ASSERT_EQ(j->restored().size(), 2u);
+    EXPECT_EQ(CellDecoder(j->restored().at(1)).f64(), cellDouble(1));
+
+    struct stat st;
+    EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0)
+        << "flush left its tmp file behind";
 }
 
 TEST_F(CheckpointTest, KilledRunResumesByteIdentically)

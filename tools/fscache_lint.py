@@ -63,6 +63,18 @@ swallowed-exception
     anything else must rethrow or use // fs-lint: allow(...) with a
     justification.
 
+signal-handler-safety
+    A function installed as a signal handler (spotted via
+    `.sa_handler = f` / `.sa_sigaction = f` assignments and
+    `signal(SIG, f)` calls in the same file) may only call
+    async-signal-safe functions: a SIGSEGV can arrive mid-malloc,
+    so heap allocation, stdio, std::string, locks, exit() or throw
+    inside the handler deadlocks or corrupts state exactly when the
+    crash report matters most. The check is lexical over the
+    handler's own body (helpers it calls are not followed — keep
+    handlers self-contained, like src/check/breadcrumb.cc's
+    sink()/sinkU64() pattern, so the body stays auditable).
+
 Suppressions / policies
 -----------------------
 A finding is suppressed by a directive comment on the same line or
@@ -118,6 +130,31 @@ UNCHECKED_STO_PATTERN = re.compile(
 CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
 THROW_RE = re.compile(r"\bthrow\b")
 
+# Signal-handler installation sites. The captured name is the
+# handler; SIG_DFL/SIG_IGN and other SIG_* constants are skipped.
+HANDLER_ASSIGN_RE = re.compile(
+    r"\.sa_(?:handler|sigaction)\s*=\s*(?:&\s*)?([A-Za-z_]\w*)")
+HANDLER_SIGNAL_RE = re.compile(
+    r"\b(?:std::)?signal\s*\([^,()]+,\s*(?:&\s*)?([A-Za-z_]\w*)\s*\)")
+
+# Not async-signal-safe (POSIX 2.4.3). write()/sigaction()/raise()
+# and friends stay legal; these are the common hazards.
+UNSAFE_IN_HANDLER = [
+    (re.compile(r"\b(?:malloc|calloc|realloc|free|strdup)\s*\("),
+     "heap allocation"),
+    (re.compile(r"(?<![\w:.])(?:new|delete)\b"), "new/delete"),
+    (re.compile(r"\b(?:v?f?printf|s(?:n)?printf|vsnprintf|puts|"
+                r"fputs|fputc|putchar|fwrite|fread|fflush|fopen|"
+                r"fclose|perror)\s*\("), "stdio"),
+    (re.compile(r"\bstd::c(?:out|err|log)\b"), "iostream"),
+    (re.compile(r"\bstd::(?:string|vector|ostringstream)\b"),
+     "allocating container"),
+    (re.compile(r"\b(?:lock_guard|unique_lock|scoped_lock|mutex)\b"
+                r"|\.lock\s*\("), "lock"),
+    (re.compile(r"(?<![\w_])exit\s*\("), "exit() (use _exit/_Exit)"),
+    (re.compile(r"\bthrow\b"), "throw"),
+]
+
 # The sanctioned catch-all sites: the pool forwards the captured
 # exception_ptr to the submitter, and the guard converts the error
 # into a typed CellOutcome. Both "produce a typed outcome".
@@ -133,10 +170,11 @@ HOT_PATH_SCOPE = ("src/cache", "src/ranking", "src/sim")
 ACCUM_SCOPE = ("src/stats",)
 STO_SCOPE = ("tools", "bench")
 SWALLOW_SCOPE = ("src",)
+SIGNAL_SCOPE = ("src",)
 
 ALL_RULES = ("raw-random", "wall-clock", "unordered-aggregation",
              "hot-path-container", "float-accum", "unchecked-sto",
-             "swallowed-exception")
+             "swallowed-exception", "signal-handler-safety")
 
 DIRECTIVE_RE = re.compile(
     r"//\s*fs-lint:\s*(allow|float-accum)\(([\w-]+)\)\s*(.*)")
@@ -307,6 +345,47 @@ def swallowed_catch_lines(text: str):
             yield lineno
 
 
+def handler_unsafe_lines(text: str):
+    """Yield (lineno, handler, hazard) for unsafe handler bodies.
+
+    Collects every function name installed as a signal handler in
+    this file, brace-matches each one's definition (same file), and
+    scans the body lexically for non-async-signal-safe calls.
+    Helpers the handler calls are not followed.
+    """
+    stripped = dict(code_lines(text))
+    total = text.count("\n") + 1
+    joined = "\n".join(stripped.get(no, "")
+                       for no in range(1, total + 1))
+    handlers = set()
+    for pat in (HANDLER_ASSIGN_RE, HANDLER_SIGNAL_RE):
+        for m in pat.finditer(joined):
+            name = m.group(1)
+            if not name.startswith("SIG_") and name != "nullptr":
+                handlers.add(name)
+    for name in sorted(handlers):
+        defn = re.compile(
+            r"\b" + re.escape(name) + r"\s*\([^;{}()]*\)\s*\{")
+        for m in defn.finditer(joined):
+            brace = m.end() - 1
+            depth = 0
+            i = brace
+            while i < len(joined):
+                if joined[i] == "{":
+                    depth += 1
+                elif joined[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            body = joined[brace:i + 1]
+            start = joined.count("\n", 0, brace) + 1
+            for off, line in enumerate(body.split("\n")):
+                for upat, what in UNSAFE_IN_HANDLER:
+                    if upat.search(line):
+                        yield start + off, name, what
+
+
 def check_file(root: Path, path: Path, findings: list):
     rel = path.relative_to(root).as_posix()
     try:
@@ -341,6 +420,15 @@ def check_file(root: Path, path: Path, findings: list):
     scoped_sto = in_scope(rel, STO_SCOPE)
     scoped_swallow = (in_scope(rel, SWALLOW_SCOPE) and
                       rel not in SWALLOW_ALLOWLIST)
+
+    if in_scope(rel, SIGNAL_SCOPE):
+        for no, name, what in handler_unsafe_lines(text):
+            report(no, "signal-handler-safety",
+                   f"{what} inside signal handler '{name}' is not "
+                   "async-signal-safe (a signal can arrive "
+                   "mid-malloc/mid-lock); use write(2) and "
+                   "preformatted buffers like "
+                   "src/check/breadcrumb.cc, or _exit")
 
     if scoped_swallow:
         for no in swallowed_catch_lines(text):
@@ -479,6 +567,10 @@ def self_test(repo_root: Path) -> int:
         ("tools/bad_sto.cc", 9, "unchecked-sto"),
         ("tools/bad_sto.cc", 10, "unchecked-sto"),
         ("src/runner/bad_catch.cc", 11, "swallowed-exception"),
+        ("src/check/bad_handler.cc", 11, "signal-handler-safety"),
+        ("src/check/bad_handler.cc", 12, "signal-handler-safety"),
+        ("src/check/bad_handler.cc", 13, "signal-handler-safety"),
+        ("src/check/bad_handler.cc", 14, "signal-handler-safety"),
     }
     ok = True
     for miss in sorted(expected - got):
