@@ -27,14 +27,10 @@ CandidateVec
 makeCandidates(std::uint32_t r, std::uint32_t parts)
 {
     CandidateVec cands;
+    cands.reserve(r);
     Rng rng(7);
-    for (std::uint32_t i = 0; i < r; ++i) {
-        Candidate c;
-        c.line = i;
-        c.part = static_cast<PartId>(i % parts);
-        c.futility = rng.uniform();
-        cands.push_back(c);
-    }
+    for (std::uint32_t i = 0; i < r; ++i)
+        cands.push(i, static_cast<PartId>(i % parts), rng.uniform());
     return cands;
 }
 

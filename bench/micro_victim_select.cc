@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Microbench: victim-selection cost per scheme, scalar vs SIMD.
+ *
+ * Times selectVictim() alone — the candidate scan the common/simd.hh
+ * kernels vectorize — over a fixed R=16 candidate list, once per
+ * compiled-in backend (scalar, sse2, avx2 as available), and
+ * reports ns/selection plus the vector speedup over the scalar
+ * reference. Every backend must also pick identical victims on the
+ * identical inputs (the byte-identity contract); the bench verifies
+ * that while it measures.
+ *
+ * Set FS_BENCH_JSON=<path> to write the measurements as JSON.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/simd.hh"
+#include "stats/json_writer.hh"
+#include "stats/table_printer.hh"
+
+using namespace fscache;
+
+namespace
+{
+
+constexpr std::uint32_t kWays = 16;
+constexpr std::uint32_t kParts = 8;
+
+/** Candidate lists with a spread of futilities and partitions. */
+std::vector<CandidateVec>
+makeInputs(std::size_t count)
+{
+    Rng rng(7);
+    std::vector<CandidateVec> inputs(count);
+    for (CandidateVec &cands : inputs) {
+        cands.reserve(kWays);
+        for (std::uint32_t i = 0; i < kWays; ++i)
+            cands.push(i, static_cast<PartId>(rng.below(kParts)),
+                       rng.uniform());
+    }
+    return inputs;
+}
+
+class BenchOps : public PartitionOps
+{
+  public:
+    std::uint32_t actualSize(PartId part) const override
+    {
+        return 1000 + part * 10;
+    }
+    LineId cacheLines() const override { return 131072; }
+    void demote(LineId, PartId) override {}
+    double exactFutility(LineId line) const override
+    {
+        return (line % 97 + 1) / 97.0;
+    }
+};
+
+struct Measurement
+{
+    double ns_per_select = 0.0;
+    std::uint64_t victim_digest = 0; // cross-backend identity check
+};
+
+/**
+ * Time selectVictim over the prepared inputs; schemes may mutate
+ * the candidate list (Vantage demotes), so each call works on a
+ * fresh copy — the copy cost is identical across backends and
+ * cancels out of the scalar-vs-SIMD comparison.
+ */
+Measurement
+timeScheme(PartitionScheme &scheme,
+           const std::vector<CandidateVec> &inputs,
+           std::uint64_t rounds)
+{
+    Measurement m;
+    CandidateVec cands;
+    std::uint64_t calls = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        for (const CandidateVec &in : inputs) {
+            cands = in;
+            std::uint32_t victim = scheme.selectVictim(
+                cands, static_cast<PartId>(calls % kParts));
+            m.victim_digest = m.victim_digest * 1099511628211ull +
+                              victim;
+            ++calls;
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    std::chrono::duration<double> dt = t1 - t0;
+    m.ns_per_select = dt.count() * 1e9 / static_cast<double>(calls);
+    return m;
+}
+
+struct SchemeRow
+{
+    const char *name;
+    SchemeKind kind;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("micro_victim_select",
+                  "victim-selection ns per decision, scalar vs "
+                  "SIMD backends");
+
+    const SchemeRow schemes[] = {
+        {"unpartitioned", SchemeKind::None},
+        {"pf", SchemeKind::PF},
+        {"fs-feedback", SchemeKind::Fs},
+        {"fs-analytic", SchemeKind::FsAnalytic},
+        {"vantage", SchemeKind::Vantage},
+        {"prism", SchemeKind::Prism},
+        {"waypart", SchemeKind::WayPart},
+    };
+    std::vector<std::string> backends{"scalar"};
+    if (simd::backendAvailable("sse2"))
+        backends.push_back("sse2");
+    if (simd::backendAvailable("avx2"))
+        backends.push_back("avx2");
+
+    const auto rounds =
+        static_cast<std::uint64_t>(bench::scaled(2000));
+    std::vector<CandidateVec> inputs = makeInputs(256);
+
+    // rows[scheme][backend]
+    std::vector<std::vector<Measurement>> rows(
+        std::size(schemes),
+        std::vector<Measurement>(backends.size()));
+    bool identical = true;
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        if (!simd::setBackend(backends[b].c_str())) {
+            std::fprintf(stderr, "cannot select backend %s\n",
+                         backends[b].c_str());
+            return 1;
+        }
+        for (std::size_t s = 0; s < std::size(schemes); ++s) {
+            // Fresh scheme per (scheme, backend) cell: internal
+            // feedback state (FS registers, Vantage thresholds,
+            // PriSM windows) starts identical everywhere, so the
+            // victim digests are comparable across backends.
+            BenchOps ops;
+            SchemeConfig cfg;
+            cfg.kind = schemes[s].kind;
+            cfg.ways = kWays;
+            auto scheme = makeScheme(cfg);
+            scheme->bind(&ops, kParts);
+            for (PartId p = 0; p < kParts; ++p)
+                scheme->setTarget(p, 1000);
+            rows[s][b] = timeScheme(*scheme, inputs, rounds);
+            if (rows[s][b].victim_digest !=
+                rows[s][0].victim_digest)
+                identical = false;
+        }
+    }
+    simd::setBackend("scalar");
+
+    std::vector<std::string> header{"scheme"};
+    for (const std::string &b : backends)
+        header.push_back(b + " ns");
+    header.push_back("speedup");
+    TablePrinter table(header);
+    for (std::size_t s = 0; s < std::size(schemes); ++s) {
+        std::vector<std::string> row{schemes[s].name};
+        for (std::size_t b = 0; b < backends.size(); ++b)
+            row.push_back(
+                TablePrinter::num(rows[s][b].ns_per_select, 1));
+        double best = rows[s].back().ns_per_select;
+        row.push_back(TablePrinter::num(
+            best > 0.0 ? rows[s][0].ns_per_select / best : 0.0, 2));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::printf("\nR=%u candidates, %u partitions; speedup = "
+                "scalar / %s\n",
+                kWays, kParts, backends.back().c_str());
+    std::printf("victims identical across backends: %s\n",
+                identical ? "yes" : "NO (BUG)");
+
+    if (const char *path = std::getenv("FS_BENCH_JSON")) {
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write FS_BENCH_JSON=%s\n",
+                         path);
+            return 1;
+        }
+        JsonWriter json(os);
+        json.field("bench", "micro_victim_select");
+        json.field("ways", std::uint64_t{kWays});
+        json.field("parts", std::uint64_t{kParts});
+        json.field("scale", bench::scale());
+        json.field("identical", identical);
+        json.beginArray("schemes");
+        for (std::size_t s = 0; s < std::size(schemes); ++s) {
+            json.beginObject();
+            json.field("scheme", schemes[s].name);
+            for (std::size_t b = 0; b < backends.size(); ++b)
+                json.field("ns_" + backends[b],
+                           rows[s][b].ns_per_select);
+            json.endObject();
+        }
+        json.endArray();
+        json.finish();
+        os << "\n";
+    }
+    return identical ? 0 : 1;
+}

@@ -3,7 +3,8 @@
  * Cross-structure invariant audits (FS_AUDIT; see check/audit.hh).
  *
  * The per-structure audits (FlatMap / OrderStatTreap / TagStore /
- * TreapRankingBase ::auditInvariants()) verify each structure
+ * TreapRankingBase / RecencyRankingBase ::auditInvariants()) verify
+ * each structure
  * against itself; the functions here verify the structures against
  * *each other* — the facade-level bookkeeping PartitionedCache is
  * responsible for keeping consistent:

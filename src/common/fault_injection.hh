@@ -14,8 +14,10 @@
  *     cell=<n>:corrupt        silently flip a tag-store index entry
  *                             mid-cell (detected only by FS_AUDIT /
  *                             FS_SHADOW; see docs/ROBUSTNESS.md)
- *     cell=<n>:corrupt-treap  silently inflate a ranking-treap
- *                             subtree size mid-cell
+ *     cell=<n>:corrupt-treap  silently inflate the ranking's order
+ *                             structure size mid-cell (treap root
+ *                             subtree size, or the recency base's
+ *                             resident counter)
  *     cell=<n>:corrupt-occ    silently inflate a partition occupancy
  *                             counter mid-cell
  *     cell=<n>:segv           real segfault (guarded null store) at

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Binary-indexed (Fenwick) occupancy tree over a fixed power-of-two
+ * range of positions: each position is either marked or empty, and
+ * the tree answers "how many marks below position p" and "where is
+ * the first mark" in O(log capacity) array arithmetic.
+ *
+ * This is the order structure behind RecencyRankingBase: positions
+ * are recency stamps, marks are resident lines, prefix counts are
+ * exact LRU ranks. Compared to the order-statistic treap it
+ * replaces on that path, a Fenwick walk touches log2(C) contiguous
+ * array words instead of chasing log2(N) heap-allocated node
+ * pointers, and needs no rebalancing state (no priorities, no RNG).
+ */
+
+#ifndef FSCACHE_COMMON_FENWICK_HH
+#define FSCACHE_COMMON_FENWICK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class FenwickTree
+{
+  public:
+    FenwickTree() = default;
+
+    explicit FenwickTree(std::uint32_t capacity) { reset(capacity); }
+
+    /** (Re)size to `capacity` positions, all empty. */
+    void
+    reset(std::uint32_t capacity)
+    {
+        fs_assert(capacity > 0 &&
+                      (capacity & (capacity - 1)) == 0,
+                  "fenwick capacity must be a power of two");
+        cap_ = capacity;
+        total_ = 0;
+        // fs-analyze: allow(hot-path-alloc) reset runs once per
+        // tree — construction, or first sight of a partition id in
+        // RecencyRankingBase::ensurePart — bounded by the partition
+        // count (witness: tests/test_hot_alloc.cc).
+        tree_.assign(cap_ + 1, 0);
+    }
+
+    /** Empty every position; capacity is kept. */
+    void
+    clear()
+    {
+        std::fill(tree_.begin(), tree_.end(), 0);
+        total_ = 0;
+    }
+
+    /** Mark the (currently empty) position `pos`. */
+    void
+    mark(std::uint32_t pos)
+    {
+        update(pos, +1);
+        ++total_;
+    }
+
+    /** Empty the (currently marked) position `pos`. */
+    void
+    unmark(std::uint32_t pos)
+    {
+        update(pos, -1);
+        --total_;
+    }
+
+    /** Number of marked positions strictly below `pos`
+     *  (pos == capacity() gives the full count). */
+    std::uint32_t
+    countBelow(std::uint32_t pos) const
+    {
+        fs_assert(pos <= cap_, "fenwick prefix out of range");
+        std::uint32_t sum = 0;
+        for (std::uint32_t i = pos; i > 0; i &= i - 1)
+            sum += tree_[i];
+        return sum;
+    }
+
+    std::uint32_t total() const { return total_; }
+
+    std::uint32_t capacity() const { return cap_; }
+
+    /**
+     * Lowest marked position, by the standard select descent: walk
+     * the implicit tree from the top bit down, stepping right when
+     * the left subtree holds no mark. Requires total() > 0.
+     */
+    std::uint32_t
+    firstMarked() const
+    {
+        fs_assert(total_ > 0, "firstMarked on an empty fenwick");
+        std::uint32_t pos = 0;
+        std::uint32_t need = 1;
+        for (std::uint32_t bit = cap_; bit > 0; bit >>= 1) {
+            std::uint32_t next = pos + bit;
+            if (next <= cap_ && tree_[next] < need) {
+                need -= tree_[next];
+                pos = next;
+            }
+        }
+        return pos;
+    }
+
+  private:
+    void
+    update(std::uint32_t pos, std::int32_t delta)
+    {
+        fs_assert(pos < cap_, "fenwick position out of range");
+        for (std::uint32_t i = pos + 1; i <= cap_; i += i & (0u - i))
+            tree_[i] = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(tree_[i]) + delta);
+    }
+
+    std::uint32_t cap_ = 0;
+    std::uint32_t total_ = 0;
+    /** 1-based implicit tree; tree_[i] counts marks in the range
+     *  (i - lowbit(i), i] of 1-based positions. */
+    std::vector<std::uint32_t> tree_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_FENWICK_HH

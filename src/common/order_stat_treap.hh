@@ -33,6 +33,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/log.hh"
 #include "common/random.hh"
 
@@ -309,9 +310,10 @@ class OrderStatTreap
      * Remove everything. The node pool is retained: every slot goes
      * back on the free list and the arrays keep their size, so a
      * clear + refill cycle performs no allocation (and no pool
-     * shrink — see poolSize()).
+     * shrink — see poolSize()). FS_COLD: only called when a cache
+     * is (re)built, never per access.
      */
-    void
+    FS_COLD void
     clear()
     {
         auto pool = static_cast<std::uint32_t>(nodes_.size());

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * AVX2 backend: 4-wide versions of the victim-selection scans. This
+ * translation unit is the only one compiled with -mavx2 (see
+ * src/CMakeLists.txt), so AVX2 codegen cannot leak into code that
+ * must run on older CPUs; avx2Supported() gates dispatch at runtime.
+ *
+ * Lane semantics follow the byte-identity contract in
+ * common/simd.hh: strict-greater per-lane updates keep the first
+ * index of each lane's maximum, excluded lanes are fed -inf, the
+ * horizontal reduction takes max value / min index, and the tail is
+ * finished by the scalar loop continuing from the reduced running
+ * state. Scaled futilities are one _mm256_mul_pd per candidate —
+ * the same single IEEE multiply the scalar loop performs (no fma).
+ */
+
+#include "common/simd_backends.hh"
+
+#if defined(FSCACHE_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace fscache
+{
+namespace simd
+{
+namespace detail
+{
+
+namespace
+{
+
+const double kNegInf = -std::numeric_limits<double>::infinity();
+
+/** 4 consecutive PartId (u16) zero-extended into 64-bit lanes. */
+inline __m256i
+loadParts64(const PartId *p)
+{
+    __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p));
+    return _mm256_cvtepu16_epi64(raw);
+}
+
+/** 4 consecutive PartId (u16) zero-extended into 32-bit lanes. */
+inline __m128i
+loadParts32(const PartId *p)
+{
+    __m128i raw =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p));
+    return _mm_cvtepu16_epi32(raw);
+}
+
+/**
+ * Combine the 4 per-lane running maxima into the scalar loop's
+ * answer (max value, min index on ties — the global first
+ * occurrence, see common/simd.hh) and finish the tail serially.
+ */
+inline void
+reduceLanes(__m256d bestv, __m256i besti, double &best_v_out,
+            std::int64_t &best_i_out)
+{
+    alignas(32) double lv[4];
+    alignas(32) std::int64_t li[4];
+    _mm256_store_pd(lv, bestv);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(li), besti);
+
+    double best_v = lv[0];
+    std::int64_t best_i = li[0];
+    for (int j = 1; j < 4; ++j) {
+        if (lv[j] > best_v || (lv[j] == best_v && li[j] < best_i)) {
+            best_v = lv[j];
+            best_i = li[j];
+        }
+    }
+    best_v_out = best_v;
+    best_i_out = best_i;
+}
+
+std::uint32_t
+argmaxPlainAvx2(const double *v, std::size_t n)
+{
+    if (n < 4)
+        return scalar::argmaxPlain(v, n);
+    __m256d bestv = _mm256_loadu_pd(v);
+    __m256i besti = _mm256_set_epi64x(3, 2, 1, 0);
+    __m256i curi = besti;
+    const __m256i step = _mm256_set1_epi64x(4);
+    std::size_t i = 4;
+    for (; i + 4 <= n; i += 4) {
+        curi = _mm256_add_epi64(curi, step);
+        __m256d cur = _mm256_loadu_pd(v + i);
+        __m256d gt = _mm256_cmp_pd(cur, bestv, _CMP_GT_OQ);
+        bestv = _mm256_blendv_pd(bestv, cur, gt);
+        besti = _mm256_castpd_si256(
+            _mm256_blendv_pd(_mm256_castsi256_pd(besti),
+                             _mm256_castsi256_pd(curi), gt));
+    }
+    double best_v;
+    std::int64_t best_i;
+    reduceLanes(bestv, besti, best_v, best_i);
+    for (; i < n; ++i) {
+        if (v[i] > best_v) {
+            best_v = v[i];
+            best_i = static_cast<std::int64_t>(i);
+        }
+    }
+    return static_cast<std::uint32_t>(best_i);
+}
+
+std::int64_t
+argmaxMaskedAvx2(const double *v, const PartId *mask, PartId want,
+                 std::size_t n)
+{
+    if (n < 4)
+        return scalar::argmaxMasked(v, mask, want, n);
+    const __m256i wantv =
+        _mm256_set1_epi64x(static_cast<long long>(want));
+    const __m256d neg_inf = _mm256_set1_pd(kNegInf);
+    __m256d bestv = _mm256_set1_pd(-1.0);
+    __m256i besti = _mm256_set1_epi64x(-1);
+    __m256i curi = _mm256_set_epi64x(-1, -2, -3, -4);
+    const __m256i step = _mm256_set1_epi64x(4);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        curi = _mm256_add_epi64(curi, step);
+        __m256d sel = _mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(loadParts64(mask + i), wantv));
+        __m256d cur =
+            _mm256_blendv_pd(neg_inf, _mm256_loadu_pd(v + i), sel);
+        __m256d gt = _mm256_cmp_pd(cur, bestv, _CMP_GT_OQ);
+        bestv = _mm256_blendv_pd(bestv, cur, gt);
+        besti = _mm256_castpd_si256(
+            _mm256_blendv_pd(_mm256_castsi256_pd(besti),
+                             _mm256_castsi256_pd(curi), gt));
+    }
+    double best_v;
+    std::int64_t best_i;
+    reduceLanes(bestv, besti, best_v, best_i);
+    for (; i < n; ++i) {
+        if (mask[i] == want && v[i] > best_v) {
+            best_v = v[i];
+            best_i = static_cast<std::int64_t>(i);
+        }
+    }
+    return best_i;
+}
+
+std::uint32_t
+argmaxScaledAvx2(const double *v, const PartId *part,
+                 const double *factors, std::size_t num_factors,
+                 std::size_t n)
+{
+    if (n < 4)
+        return scalar::argmaxScaled(v, part, factors, num_factors,
+                                    n);
+    // PartId is 16-bit, so num_factors <= 65536 always fits the
+    // signed-32 compare; clamp keeps that true if PartId widens.
+    const int nf = num_factors > 0xffff
+                       ? 0x10000
+                       : static_cast<int>(num_factors);
+    const __m128i nfv = _mm_set1_epi32(nf);
+    const __m256d neg_inf = _mm256_set1_pd(kNegInf);
+    const __m256d zero = _mm256_setzero_pd();
+    __m256d bestv = _mm256_set1_pd(-1.0);
+    __m256i besti = _mm256_set1_epi64x(-1);
+    __m256i curi = _mm256_set_epi64x(-1, -2, -3, -4);
+    const __m256i step = _mm256_set1_epi64x(4);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        curi = _mm256_add_epi64(curi, step);
+        __m128i idx32 = loadParts32(part + i);
+        __m128i valid32 = _mm_cmplt_epi32(idx32, nfv);
+        __m256d valid = _mm256_castsi256_pd(
+            _mm256_cvtepi32_epi64(valid32));
+        // Masked gather: lanes with an out-of-range partition read
+        // nothing (no OOB access) and take 0.0 from src; their
+        // products are discarded by the -inf blend below.
+        __m256d f = _mm256_mask_i32gather_pd(zero, factors, idx32,
+                                             valid, 8);
+        __m256d scaled = _mm256_mul_pd(_mm256_loadu_pd(v + i), f);
+        __m256d cur = _mm256_blendv_pd(neg_inf, scaled, valid);
+        __m256d gt = _mm256_cmp_pd(cur, bestv, _CMP_GT_OQ);
+        bestv = _mm256_blendv_pd(bestv, cur, gt);
+        besti = _mm256_castpd_si256(
+            _mm256_blendv_pd(_mm256_castsi256_pd(besti),
+                             _mm256_castsi256_pd(curi), gt));
+    }
+    double best_v;
+    std::int64_t best_i;
+    reduceLanes(bestv, besti, best_v, best_i);
+    for (; i < n; ++i) {
+        if (part[i] >= num_factors)
+            continue;
+        double scaled = v[i] * factors[part[i]];
+        if (scaled > best_v) {
+            best_v = scaled;
+            best_i = static_cast<std::int64_t>(i);
+        }
+    }
+    return best_i < 0 ? 0 : static_cast<std::uint32_t>(best_i);
+}
+
+std::uint32_t
+thresholdGeAvx2(const double *v, const double *thresh, std::size_t n,
+                std::uint8_t *out)
+{
+    std::uint32_t count = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256d ge = _mm256_cmp_pd(_mm256_loadu_pd(v + i),
+                                   _mm256_loadu_pd(thresh + i),
+                                   _CMP_GE_OQ);
+        int m = _mm256_movemask_pd(ge);
+        out[i] = static_cast<std::uint8_t>(m & 1);
+        out[i + 1] = static_cast<std::uint8_t>((m >> 1) & 1);
+        out[i + 2] = static_cast<std::uint8_t>((m >> 2) & 1);
+        out[i + 3] = static_cast<std::uint8_t>((m >> 3) & 1);
+        count += static_cast<std::uint32_t>(__builtin_popcount(
+            static_cast<unsigned>(m)));
+    }
+    for (; i < n; ++i) {
+        out[i] = v[i] >= thresh[i] ? 1 : 0;
+        count += out[i];
+    }
+    return count;
+}
+
+} // namespace
+
+const Kernels &
+avx2Kernels()
+{
+    static const Kernels tbl{
+        &argmaxPlainAvx2,
+        &argmaxMaskedAvx2,
+        &argmaxScaledAvx2,
+        &thresholdGeAvx2,
+    };
+    return tbl;
+}
+
+bool
+avx2Supported()
+{
+    return __builtin_cpu_supports("avx2") != 0;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace fscache
+
+#endif // FSCACHE_SIMD_AVX2

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Internal: backend tables the per-ISA translation units export to
+ * the dispatcher (common/simd.cc). The SSE2/AVX2 units are compiled
+ * with their ISA flags (see src/CMakeLists.txt), so nothing in this
+ * header may be included from code that must run on a baseline CPU
+ * path — only declarations live here.
+ */
+
+#ifndef FSCACHE_COMMON_SIMD_BACKENDS_HH
+#define FSCACHE_COMMON_SIMD_BACKENDS_HH
+
+#include "common/simd.hh"
+
+namespace fscache
+{
+namespace simd
+{
+namespace detail
+{
+
+#if defined(FSCACHE_SIMD_SSE2)
+const Kernels &sse2Kernels();
+#endif
+
+#if defined(FSCACHE_SIMD_AVX2)
+const Kernels &avx2Kernels();
+/** Runtime CPU check (the binary may run on a non-AVX2 machine). */
+bool avx2Supported();
+#endif
+
+} // namespace detail
+} // namespace simd
+} // namespace fscache
+
+#endif // FSCACHE_COMMON_SIMD_BACKENDS_HH

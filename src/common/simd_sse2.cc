@@ -1,0 +1,225 @@
+/**
+ * @file
+ * SSE2 backend (x86-64 baseline ISA): 2-wide versions of the
+ * victim-selection scans. Lane masking uses and/andnot blends (SSE2
+ * has no blendv); excluded lanes are fed -inf per the byte-identity
+ * contract in common/simd.hh. The mask/factor lookups stay scalar —
+ * SSE2 has no gather — so this backend mainly buys branchless
+ * compares and 2-wide max tracking; AVX2 does the full vector job.
+ */
+
+#include "common/simd_backends.hh"
+
+#if defined(FSCACHE_SIMD_SSE2)
+
+#include <emmintrin.h>
+
+#include <limits>
+
+namespace fscache
+{
+namespace simd
+{
+namespace detail
+{
+
+namespace
+{
+
+const double kNegInf = -std::numeric_limits<double>::infinity();
+
+inline __m128d
+blendPd(__m128d a, __m128d b, __m128d sel)
+{
+    return _mm_or_pd(_mm_and_pd(sel, b), _mm_andnot_pd(sel, a));
+}
+
+inline __m128i
+blendEpi(__m128i a, __m128i b, __m128i sel)
+{
+    return _mm_or_si128(_mm_and_si128(sel, b),
+                        _mm_andnot_si128(sel, a));
+}
+
+/**
+ * Combine per-lane running maxima into the scalar loop's answer:
+ * largest value wins; on value ties the smaller index wins, which
+ * is the first occurrence overall because lane j only ever holds
+ * indices congruent to j and updates on strict greater (see
+ * common/simd.hh). Then finish the tail serially.
+ */
+inline std::int64_t
+reduceAndTail(__m128d bestv, __m128i besti, const double *x,
+              std::size_t i, std::size_t n, double &best_v_out)
+{
+    alignas(16) double lv[2];
+    alignas(16) std::int64_t li[2];
+    _mm_store_pd(lv, bestv);
+    _mm_store_si128(reinterpret_cast<__m128i *>(li), besti);
+
+    double best_v = lv[0];
+    std::int64_t best_i = li[0];
+    if (lv[1] > best_v || (lv[1] == best_v && li[1] < best_i)) {
+        best_v = lv[1];
+        best_i = li[1];
+    }
+    for (; i < n; ++i) {
+        if (x[i] > best_v) {
+            best_v = x[i];
+            best_i = static_cast<std::int64_t>(i);
+        }
+    }
+    best_v_out = best_v;
+    return best_i;
+}
+
+std::uint32_t
+argmaxPlainSse2(const double *v, std::size_t n)
+{
+    if (n < 2)
+        return scalar::argmaxPlain(v, n);
+    __m128d bestv = _mm_loadu_pd(v);
+    __m128i besti = _mm_set_epi64x(1, 0);
+    __m128i curi = besti;
+    const __m128i step = _mm_set1_epi64x(2);
+    std::size_t i = 2;
+    for (; i + 2 <= n; i += 2) {
+        curi = _mm_add_epi64(curi, step);
+        __m128d cur = _mm_loadu_pd(v + i);
+        __m128d gt = _mm_cmpgt_pd(cur, bestv);
+        bestv = blendPd(bestv, cur, gt);
+        besti = blendEpi(besti, curi, _mm_castpd_si128(gt));
+    }
+    double bv;
+    return static_cast<std::uint32_t>(
+        reduceAndTail(bestv, besti, v, i, n, bv));
+}
+
+std::int64_t
+argmaxMaskedSse2(const double *v, const PartId *mask, PartId want,
+                 std::size_t n)
+{
+    if (n < 2)
+        return scalar::argmaxMasked(v, mask, want, n);
+    __m128d bestv = _mm_set1_pd(-1.0);
+    __m128i besti = _mm_set1_epi64x(-1);
+    __m128i curi = _mm_set_epi64x(-1, -2);
+    const __m128i step = _mm_set1_epi64x(2);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        curi = _mm_add_epi64(curi, step);
+        double x0 = mask[i] == want ? v[i] : kNegInf;
+        double x1 = mask[i + 1] == want ? v[i + 1] : kNegInf;
+        __m128d cur = _mm_set_pd(x1, x0);
+        __m128d gt = _mm_cmpgt_pd(cur, bestv);
+        bestv = blendPd(bestv, cur, gt);
+        besti = blendEpi(besti, curi, _mm_castpd_si128(gt));
+    }
+    alignas(16) double lv[2];
+    alignas(16) std::int64_t li[2];
+    _mm_store_pd(lv, bestv);
+    _mm_store_si128(reinterpret_cast<__m128i *>(li), besti);
+    double best_v = lv[0];
+    std::int64_t best_i = li[0];
+    if (lv[1] > best_v || (lv[1] == best_v && li[1] < best_i)) {
+        best_v = lv[1];
+        best_i = li[1];
+    }
+    for (; i < n; ++i) {
+        if (mask[i] == want && v[i] > best_v) {
+            best_v = v[i];
+            best_i = static_cast<std::int64_t>(i);
+        }
+    }
+    return best_i;
+}
+
+std::uint32_t
+argmaxScaledSse2(const double *v, const PartId *part,
+                 const double *factors, std::size_t num_factors,
+                 std::size_t n)
+{
+    if (n < 2)
+        return scalar::argmaxScaled(v, part, factors, num_factors,
+                                    n);
+    __m128d bestv = _mm_set1_pd(-1.0);
+    __m128i besti = _mm_set1_epi64x(-1);
+    __m128i curi = _mm_set_epi64x(-1, -2);
+    const __m128i step = _mm_set1_epi64x(2);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        curi = _mm_add_epi64(curi, step);
+        // One IEEE multiply per live candidate, exactly the
+        // scalar loop's v[i] * factors[part[i]].
+        double x0 =
+            part[i] < num_factors ? v[i] * factors[part[i]] : kNegInf;
+        double x1 = part[i + 1] < num_factors
+                        ? v[i + 1] * factors[part[i + 1]]
+                        : kNegInf;
+        __m128d cur = _mm_set_pd(x1, x0);
+        __m128d gt = _mm_cmpgt_pd(cur, bestv);
+        bestv = blendPd(bestv, cur, gt);
+        besti = blendEpi(besti, curi, _mm_castpd_si128(gt));
+    }
+    alignas(16) double lv[2];
+    alignas(16) std::int64_t li[2];
+    _mm_store_pd(lv, bestv);
+    _mm_store_si128(reinterpret_cast<__m128i *>(li), besti);
+    double best_v = lv[0];
+    std::int64_t best_i = li[0];
+    if (lv[1] > best_v || (lv[1] == best_v && li[1] < best_i)) {
+        best_v = lv[1];
+        best_i = li[1];
+    }
+    for (; i < n; ++i) {
+        if (part[i] >= num_factors)
+            continue;
+        double scaled = v[i] * factors[part[i]];
+        if (scaled > best_v) {
+            best_v = scaled;
+            best_i = static_cast<std::int64_t>(i);
+        }
+    }
+    return best_i < 0 ? 0 : static_cast<std::uint32_t>(best_i);
+}
+
+std::uint32_t
+thresholdGeSse2(const double *v, const double *thresh, std::size_t n,
+                std::uint8_t *out)
+{
+    std::uint32_t count = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        __m128d ge = _mm_cmpge_pd(_mm_loadu_pd(v + i),
+                                  _mm_loadu_pd(thresh + i));
+        int m = _mm_movemask_pd(ge);
+        out[i] = static_cast<std::uint8_t>(m & 1);
+        out[i + 1] = static_cast<std::uint8_t>((m >> 1) & 1);
+        count += static_cast<std::uint32_t>((m & 1) + ((m >> 1) & 1));
+    }
+    for (; i < n; ++i) {
+        out[i] = v[i] >= thresh[i] ? 1 : 0;
+        count += out[i];
+    }
+    return count;
+}
+
+} // namespace
+
+const Kernels &
+sse2Kernels()
+{
+    static const Kernels tbl{
+        &argmaxPlainSse2,
+        &argmaxMaskedSse2,
+        &argmaxScaledSse2,
+        &thresholdGeSse2,
+    };
+    return tbl;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace fscache
+
+#endif // FSCACHE_SIMD_SSE2

@@ -1,6 +1,7 @@
 #include "partition/futility_scaling_analytic.hh"
 
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace fscache
 {
@@ -21,22 +22,15 @@ FutilityScalingAnalytic::setScalingFactor(PartId part, double alpha)
 }
 
 std::uint32_t
-FutilityScalingAnalytic::selectVictim(CandidateVec &cands,
+FutilityScalingAnalytic::selectVictim(CandidateSoA &cands,
                                       PartId incoming)
 {
     (void)incoming;
-    std::uint32_t best = 0;
-    double best_scaled = -1.0;
-    for (std::uint32_t i = 0; i < cands.size(); ++i) {
-        if (cands[i].part >= alphas_.size())
-            continue;
-        double scaled = cands[i].futility * alphas_[cands[i].part];
-        if (scaled > best_scaled) {
-            best_scaled = scaled;
-            best = i;
-        }
-    }
-    return best;
+    // Scaled argmax over f * alpha; invalid slots (part ==
+    // kInvalidPart >= alphas_.size()) are skipped by the kernel.
+    return simd::kernels().argmaxScaled(
+        cands.futility.data(), cands.part.data(), alphas_.data(),
+        alphas_.size(), cands.size());
 }
 
 } // namespace fscache

@@ -35,7 +35,7 @@ class FutilityScalingAnalytic : public PartitionScheme
         return part < alphas_.size() ? alphas_[part] : 1.0;
     }
 
-    std::uint32_t selectVictim(CandidateVec &cands,
+    std::uint32_t selectVictim(CandidateSoA &cands,
                                PartId incoming) override;
 
     std::string name() const override { return "fs-analytic"; }

@@ -5,6 +5,7 @@
 
 #include "check/audit.hh"
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace fscache
 {
@@ -22,25 +23,19 @@ FutilityScalingFeedback::bind(PartitionOps *ops, std::uint32_t num_parts)
 {
     PartitionScheme::bind(ops, num_parts);
     regs_.assign(num_parts, PartRegs{});
+    factors_.assign(num_parts, 1.0);
 }
 
 std::uint32_t
-FutilityScalingFeedback::selectVictim(CandidateVec &cands,
+FutilityScalingFeedback::selectVictim(CandidateSoA &cands,
                                       PartId incoming)
 {
     (void)incoming;
-    std::uint32_t best = 0;
-    double best_scaled = -1.0;
-    for (std::uint32_t i = 0; i < cands.size(); ++i) {
-        if (cands[i].part >= regs_.size())
-            continue;
-        double scaled = cands[i].futility * regs_[cands[i].part].factor;
-        if (scaled > best_scaled) {
-            best_scaled = scaled;
-            best = i;
-        }
-    }
-    return best;
+    // Scaled argmax over f * ratio^width; invalid slots (part ==
+    // kInvalidPart >= factors_.size()) are skipped by the kernel.
+    return simd::kernels().argmaxScaled(
+        cands.futility.data(), cands.part.data(), factors_.data(),
+        factors_.size(), cands.size());
 }
 
 void
@@ -75,7 +70,7 @@ FutilityScalingFeedback::seedFactors(const std::vector<double> &alphas)
                        static_cast<double>(cfg_.maxShiftWidth));
         PartRegs &r = regs_[p];
         r.shiftWidth = static_cast<std::uint32_t>(w);
-        r.factor = std::pow(cfg_.changingRatio, w);
+        factors_[p] = std::pow(cfg_.changingRatio, w);
         r.insertions = 0;
         r.evictions = 0;
     }
@@ -97,12 +92,12 @@ FutilityScalingFeedback::maybeAdjust(PartId part)
     if (r.insertions >= r.evictions && actual > tgt) {
         if (r.shiftWidth < cfg_.maxShiftWidth) {
             ++r.shiftWidth;
-            r.factor *= cfg_.changingRatio;
+            factors_[part] *= cfg_.changingRatio;
         }
     } else if (r.insertions <= r.evictions && actual < tgt) {
         if (r.shiftWidth > 0) {
             --r.shiftWidth;
-            r.factor /= cfg_.changingRatio;
+            factors_[part] /= cfg_.changingRatio;
         }
     }
     r.insertions = 0;
@@ -121,12 +116,12 @@ FutilityScalingFeedback::maybeAdjust(PartId part)
                           cfg_.maxShiftWidth));
         double want = std::pow(cfg_.changingRatio,
                                static_cast<double>(r.shiftWidth));
-        if (std::fabs(r.factor - want) > 1e-6 * want)
+        if (std::fabs(factors_[part] - want) > 1e-6 * want)
             check::auditFail(
                 "feedback registers",
                 strprintf("partition %u factor %.17g drifted from "
                           "ratio^width %.17g (width %u)", part,
-                          r.factor, want, r.shiftWidth));
+                          factors_[part], want, r.shiftWidth));
     });
 }
 

@@ -53,7 +53,7 @@ class FutilityScalingFeedback : public PartitionScheme
 
     void bind(PartitionOps *ops, std::uint32_t num_parts) override;
 
-    std::uint32_t selectVictim(CandidateVec &cands,
+    std::uint32_t selectVictim(CandidateSoA &cands,
                                PartId incoming) override;
 
     void onInsertion(PartId part) override;
@@ -75,7 +75,7 @@ class FutilityScalingFeedback : public PartitionScheme
 
     /** Current multiplicative scaling factor ratio^width. */
     double scalingFactor(PartId part) const
-    { return regs_[part].factor; }
+    { return factors_[part]; }
 
     std::string name() const override { return "fs"; }
 
@@ -85,13 +85,17 @@ class FutilityScalingFeedback : public PartitionScheme
         std::uint32_t insertions = 0;
         std::uint32_t evictions = 0;
         std::uint32_t shiftWidth = 0;
-        double factor = 1.0;
     };
 
     void maybeAdjust(PartId part);
 
     FsFeedbackConfig cfg_;
     std::vector<PartRegs> regs_;
+    /** factors_[p] == ratio^regs_[p].shiftWidth, kept as a flat
+     *  array so selectVictim can feed it straight to the scaled
+     *  argmax kernel (common/simd.hh) without a gather through
+     *  PartRegs. */
+    std::vector<double> factors_;
 };
 
 } // namespace fscache

@@ -74,14 +74,16 @@ class PartitionScheme
     }
 
     /**
-     * Pick the victim among the candidates. Entries for invalid
-     * slots carry part == kInvalidPart and futility < 0 and must
-     * never be chosen (at least one valid entry is guaranteed).
-     * May demote candidates via ops.
+     * Pick the victim among the candidates (struct-of-arrays; see
+     * cache/candidate.hh). Entries for invalid slots carry part ==
+     * kInvalidPart and futility -1.0 and must never be chosen (at
+     * least one valid entry is guaranteed). May demote candidates
+     * via ops. Implementations scan the futility/part arrays with
+     * the common/simd.hh kernels.
      *
      * @return index into cands
      */
-    virtual std::uint32_t selectVictim(CandidateVec &cands,
+    virtual std::uint32_t selectVictim(CandidateSoA &cands,
                                        PartId incoming) = 0;
 
     /** A line of `part` was (or is about to be) inserted. */

@@ -26,7 +26,7 @@ namespace fscache
 class PartitioningFirstScheme : public PartitionScheme
 {
   public:
-    std::uint32_t selectVictim(CandidateVec &cands,
+    std::uint32_t selectVictim(CandidateSoA &cands,
                                PartId incoming) override;
 
     std::string name() const override { return "pf"; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace fscache
 {
@@ -70,38 +71,29 @@ PrismScheme::recompute()
 }
 
 std::uint32_t
-PrismScheme::selectVictim(CandidateVec &cands, PartId incoming)
+PrismScheme::selectVictim(CandidateSoA &cands, PartId incoming)
 {
     (void)incoming;
     ++replacements_;
 
-    // Partition-Selection: sample from the eviction distribution.
+    // Partition-Selection: sample from the eviction distribution
+    // (scalar; the RNG draw order is part of the replay spec).
     double u = rng_.uniform();
     PartId chosen = 0;
     while (chosen + 1u < numParts_ && u >= cumProb_[chosen])
         ++chosen;
 
     // Victim-Identification within the chosen partition.
-    std::int64_t best = -1;
-    double best_fut = -1.0;
-    for (std::uint32_t i = 0; i < cands.size(); ++i) {
-        if (cands[i].part != chosen)
-            continue;
-        if (cands[i].futility > best_fut) {
-            best_fut = cands[i].futility;
-            best = i;
-        }
-    }
+    std::int64_t best = simd::kernels().argmaxMasked(
+        cands.futility.data(), cands.part.data(), chosen,
+        cands.size());
     if (best >= 0)
         return static_cast<std::uint32_t>(best);
 
     // Abnormality: no candidate from the chosen partition.
     ++abnormalities_;
-    std::uint32_t fallback = 0;
-    for (std::uint32_t i = 1; i < cands.size(); ++i)
-        if (cands[i].futility > cands[fallback].futility)
-            fallback = i;
-    return fallback;
+    return simd::kernels().argmaxPlain(cands.futility.data(),
+                                       cands.size());
 }
 
 double

@@ -46,7 +46,7 @@ class PrismScheme : public PartitionScheme
 
     void bind(PartitionOps *ops, std::uint32_t num_parts) override;
 
-    std::uint32_t selectVictim(CandidateVec &cands,
+    std::uint32_t selectVictim(CandidateSoA &cands,
                                PartId incoming) override;
 
     void onInsertion(PartId part) override;

@@ -1,17 +1,18 @@
 #include "partition/unpartitioned_scheme.hh"
 
+#include "common/simd.hh"
+
 namespace fscache
 {
 
 std::uint32_t
-UnpartitionedScheme::selectVictim(CandidateVec &cands, PartId incoming)
+UnpartitionedScheme::selectVictim(CandidateSoA &cands, PartId incoming)
 {
     (void)incoming;
-    std::uint32_t best = 0;
-    for (std::uint32_t i = 1; i < cands.size(); ++i)
-        if (cands[i].futility > cands[best].futility)
-            best = i;
-    return best;
+    // Plain argmax; invalid slots (futility -1.0) can never beat a
+    // valid candidate and at least one valid entry is guaranteed.
+    return simd::kernels().argmaxPlain(cands.futility.data(),
+                                       cands.size());
 }
 
 } // namespace fscache

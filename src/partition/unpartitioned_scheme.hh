@@ -16,7 +16,7 @@ namespace fscache
 class UnpartitionedScheme : public PartitionScheme
 {
   public:
-    std::uint32_t selectVictim(CandidateVec &cands,
+    std::uint32_t selectVictim(CandidateSoA &cands,
                                PartId incoming) override;
 
     std::string name() const override { return "none"; }

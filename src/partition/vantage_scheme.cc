@@ -1,8 +1,10 @@
 #include "partition/vantage_scheme.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace fscache
 {
@@ -26,20 +28,27 @@ VantageScheme::bind(PartitionOps *ops, std::uint32_t num_parts)
     demotions_ = 0;
     forced_ = 0;
     replacements_ = 0;
+    staleGen_.assign(num_parts, 0);
+    curGen_ = 0;
 }
 
 void
-VantageScheme::hwDemotePass(CandidateVec &cands)
+VantageScheme::hwDemotePass(CandidateSoA &cands)
 {
-    for (Candidate &c : cands) {
-        if (c.part >= numParts_)
+    // Stays fully scalar: the mid-scan threshold feedback makes
+    // each candidate's test depend on the previous candidates'
+    // outcomes, so there is no snapshot to vectorize against.
+    const std::size_t n = cands.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        PartId p = cands.part[i];
+        if (p >= numParts_)
             continue;
-        double ap = aperture(c.part);
-        Threshold &th = thresh_[c.part];
+        double ap = aperture(p);
+        Threshold &th = thresh_[p];
         ++th.seen;
-        if (ap > 0.0 && c.futility >= th.value) {
-            ops_->demote(c.line, unmanagedPart());
-            c.part = unmanagedPart();
+        if (ap > 0.0 && cands.futility[i] >= th.value) {
+            ops_->demote(cands.line[i], unmanagedPart());
+            cands.part[i] = unmanagedPart();
             ++demotions_;
             ++th.demoted;
         }
@@ -53,6 +62,67 @@ VantageScheme::hwDemotePass(CandidateVec &cands)
                 0.02, 1.0);
             th.seen = 0;
             th.demoted = 0;
+        }
+    }
+}
+
+void
+VantageScheme::exactDemotePass(CandidateSoA &cands)
+{
+    // Vectorized form of the serial pass
+    //   for c: ap = aperture(c.part);
+    //          if (ap > 0 && c.futility >= 1 - ap) demote(c);
+    // Snapshot each candidate's threshold, test all of them with
+    // one thresholdGe sweep, then demote serially. A demotion only
+    // changes the occupancy of the demoted partition (and the
+    // unmanaged region, which is never tested), so a snapshot
+    // decision is stale only for candidates whose partition lost a
+    // line earlier in this pass — those re-test against the
+    // current aperture, exactly what the serial loop would have
+    // seen at that point.
+    const double kPosInf = std::numeric_limits<double>::infinity();
+    const std::size_t n = cands.size();
+    // fs-analyze: allow(hot-path-alloc) reused scratch, capacity
+    // settles at the array's associativity after one replacement
+    threshBuf_.resize(n);
+    // fs-analyze: allow(hot-path-alloc) reused scratch, capacity
+    // settles at the array's associativity after one replacement
+    flagBuf_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        PartId p = cands.part[i];
+        if (p >= numParts_) {
+            // Already unmanaged, or an invalid slot: never demoted.
+            threshBuf_[i] = kPosInf;
+            continue;
+        }
+        double ap = aperture(p);
+        threshBuf_[i] = ap > 0.0 ? 1.0 - ap : kPosInf;
+    }
+    std::uint32_t flagged = simd::kernels().thresholdGe(
+        cands.futility.data(), threshBuf_.data(), n,
+        flagBuf_.data());
+    if (flagged == 0)
+        return; // no demotions, so no snapshot ever goes stale
+
+    ++curGen_;
+    for (std::size_t i = 0; i < n; ++i) {
+        PartId p = cands.part[i];
+        if (p >= numParts_)
+            continue;
+        bool demote_it;
+        if (staleGen_[p] == curGen_) {
+            // This partition lost a line since the snapshot; its
+            // aperture can only have shrunk, so re-test live.
+            double ap = aperture(p);
+            demote_it = ap > 0.0 && cands.futility[i] >= 1.0 - ap;
+        } else {
+            demote_it = flagBuf_[i] != 0;
+        }
+        if (demote_it) {
+            ops_->demote(cands.line[i], unmanagedPart());
+            cands.part[i] = unmanagedPart();
+            ++demotions_;
+            staleGen_[p] = curGen_;
         }
     }
 }
@@ -71,31 +141,24 @@ VantageScheme::aperture(PartId part) const
 }
 
 std::uint32_t
-VantageScheme::selectVictim(CandidateVec &cands, PartId incoming)
+VantageScheme::selectVictim(CandidateSoA &cands, PartId incoming)
 {
     (void)incoming;
     ++replacements_;
 
     if (cfg_.exactThresholds) {
         // Idealized mode: thresholds are defined on rank fractions,
-        // so work on exact normalized futility.
-        for (Candidate &c : cands) {
-            if (c.part == kInvalidPart)
+        // so work on exact normalized futility. Scalar: each query
+        // is a virtual per-line rank lookup.
+        const std::size_t n = cands.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (cands.part[i] == kInvalidPart)
                 continue;
-            c.futility = ops_->exactFutility(c.line);
+            cands.futility[i] = ops_->exactFutility(cands.line[i]);
         }
         // Demotion pass: push over-target partitions' least useful
         // candidate lines into the unmanaged region.
-        for (Candidate &c : cands) {
-            if (c.part >= numParts_)
-                continue; // already unmanaged (or invalid)
-            double ap = aperture(c.part);
-            if (ap > 0.0 && c.futility >= 1.0 - ap) {
-                ops_->demote(c.line, unmanagedPart());
-                c.part = unmanagedPart();
-                ++demotions_;
-            }
-        }
+        exactDemotePass(cands);
     } else {
         // Hardware mode: thresholds in scheme-futility space with
         // demotion-rate feedback.
@@ -103,26 +166,16 @@ VantageScheme::selectVictim(CandidateVec &cands, PartId incoming)
     }
 
     // Evict the most futile unmanaged candidate.
-    std::int64_t best = -1;
-    double best_fut = -1.0;
-    for (std::uint32_t i = 0; i < cands.size(); ++i) {
-        if (cands[i].part != unmanagedPart())
-            continue;
-        if (cands[i].futility > best_fut) {
-            best_fut = cands[i].futility;
-            best = i;
-        }
-    }
+    std::int64_t best = simd::kernels().argmaxMasked(
+        cands.futility.data(), cands.part.data(), unmanagedPart(),
+        cands.size());
     if (best >= 0)
         return static_cast<std::uint32_t>(best);
 
     // Forced eviction from the managed region (weak isolation).
     ++forced_;
-    std::uint32_t fallback = 0;
-    for (std::uint32_t i = 1; i < cands.size(); ++i)
-        if (cands[i].futility > cands[fallback].futility)
-            fallback = i;
-    return fallback;
+    return simd::kernels().argmaxPlain(cands.futility.data(),
+                                       cands.size());
 }
 
 } // namespace fscache

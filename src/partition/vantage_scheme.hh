@@ -60,7 +60,7 @@ class VantageScheme : public PartitionScheme
 
     void bind(PartitionOps *ops, std::uint32_t num_parts) override;
 
-    std::uint32_t selectVictim(CandidateVec &cands,
+    std::uint32_t selectVictim(CandidateSoA &cands,
                                PartId incoming) override;
 
     double managedFraction() const override
@@ -97,13 +97,25 @@ class VantageScheme : public PartitionScheme
         std::uint32_t demoted = 0;
     };
 
-    void hwDemotePass(CandidateVec &cands);
+    void hwDemotePass(CandidateSoA &cands);
+    void exactDemotePass(CandidateSoA &cands);
 
     VantageConfig cfg_;
     std::vector<Threshold> thresh_;
     std::uint64_t demotions_ = 0;
     std::uint64_t forced_ = 0;
     std::uint64_t replacements_ = 0;
+
+    /** Exact-mode demote-pass scratch, reused across replacements:
+     *  per-candidate demotion thresholds and the threshold-test
+     *  flags from the thresholdGe kernel (common/simd.hh). */
+    std::vector<double> threshBuf_;
+    std::vector<std::uint8_t> flagBuf_;
+    /** staleGen_[p] == curGen_ marks a partition whose occupancy a
+     *  demotion changed earlier in the current pass, invalidating
+     *  its snapshot threshold (see exactDemotePass). */
+    std::vector<std::uint64_t> staleGen_;
+    std::uint64_t curGen_ = 0;
 };
 
 } // namespace fscache

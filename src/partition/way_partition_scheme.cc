@@ -5,6 +5,7 @@
 
 #include "cache/tag_store.hh"
 #include "common/log.hh"
+#include "common/simd.hh"
 
 namespace fscache
 {
@@ -98,22 +99,18 @@ WayPartitionScheme::assignWays()
 }
 
 std::uint32_t
-WayPartitionScheme::selectVictim(CandidateVec &cands, PartId incoming)
+WayPartitionScheme::selectVictim(CandidateSoA &cands, PartId incoming)
 {
     fs_assert(cands.size() == ways_,
               "way partitioning needs a set-associative array with "
               "%u candidate ways, got %zu", ways_, cands.size());
 
-    std::int64_t best = -1;
-    double best_fut = -1.0;
-    for (std::uint32_t i = 0; i < cands.size(); ++i) {
-        if (owner_[i] != incoming)
-            continue;
-        if (cands[i].futility > best_fut) {
-            best_fut = cands[i].futility;
-            best = i;
-        }
-    }
+    // Masked argmax over the incoming partition's own ways
+    // (candidate order is way order, so owner_ doubles as the
+    // per-candidate mask).
+    std::int64_t best = simd::kernels().argmaxMasked(
+        cands.futility.data(), owner_.data(), incoming,
+        cands.size());
     fs_assert(best >= 0, "partition %u owns no way", incoming);
     return static_cast<std::uint32_t>(best);
 }

@@ -31,7 +31,7 @@ class WayPartitionScheme : public PartitionScheme
     void bind(PartitionOps *ops, std::uint32_t num_parts) override;
     void setTarget(PartId part, std::uint32_t lines) override;
 
-    std::uint32_t selectVictim(CandidateVec &cands,
+    std::uint32_t selectVictim(CandidateSoA &cands,
                                PartId incoming) override;
 
     LineId pickFreeSlot(const std::vector<LineId> &cand_slots,

@@ -12,7 +12,7 @@ CoarseTsLruRanking::CoarseTsLruRanking(LineId num_lines,
                                        const TagStore *tags,
                                        std::uint32_t granularity_div,
                                        std::uint32_t ts_bits)
-    : TreapRankingBase(num_lines), tags_(tags),
+    : RecencyRankingBase(num_lines), tags_(tags),
       granularityDiv_(granularity_div),
       tsMask_((1u << ts_bits) - 1), ts_(num_lines, 0)
 {
@@ -63,21 +63,21 @@ CoarseTsLruRanking::touch(LineId id, PartId part)
 void
 CoarseTsLruRanking::onInstall(LineId id, PartId part, AccessTime)
 {
-    placeNewest(id, part, ++clockShadow_);
+    placeNewest(id, part);
     touch(id, part);
 }
 
 void
 CoarseTsLruRanking::onHit(LineId id, AccessTime)
 {
-    reKeyNewest(id, ++clockShadow_);
+    touchNewest(id);
     touch(id, partOf(id));
 }
 
 void
 CoarseTsLruRanking::onRetag(LineId id, PartId new_part)
 {
-    TreapRankingBase::onRetag(id, new_part);
+    RecencyRankingBase::onRetag(id, new_part);
     // The raw timestamp is kept; distances are now measured against
     // the new partition's clock, as they would be in hardware.
 }
@@ -85,7 +85,7 @@ CoarseTsLruRanking::onRetag(LineId id, PartId new_part)
 void
 CoarseTsLruRanking::onRelocate(LineId from, LineId to)
 {
-    TreapRankingBase::onRelocate(from, to);
+    RecencyRankingBase::onRelocate(from, to);
     // The timestamp is line metadata and must follow the line, or a
     // zcache relocation leaves the moved line aged by whatever stale
     // stamp the destination slot last held.
@@ -98,6 +98,18 @@ CoarseTsLruRanking::schemeFutility(LineId id) const
 {
     return static_cast<double>(tsDistance(id)) /
            static_cast<double>(tsMask_);
+}
+
+void
+CoarseTsLruRanking::schemeFutilityMany(std::span<const LineId> ids,
+                                       double *out) const
+{
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        // Same expression as schemeFutility(): a plain array read
+        // per id, devirtualized and flush-free.
+        out[i] = static_cast<double>(tsDistance(ids[i])) /
+                 static_cast<double>(tsMask_);
+    }
 }
 
 std::uint32_t

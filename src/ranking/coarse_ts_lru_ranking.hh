@@ -9,17 +9,19 @@
  * every hit. The scheme-visible futility of a line is the unsigned
  * 8-bit distance (currentTS - lineTS) % 256, normalized to [0, 1].
  *
- * The exact (treap-backed) LRU order is tracked alongside so
- * statistics report the true rank futility; the scheme only ever
- * sees the coarse estimate, exactly like the paper's hardware.
+ * The exact LRU order is tracked alongside (the Fenwick-backed
+ * recency base) so statistics report the true rank futility; the
+ * scheme only ever sees the coarse estimate, exactly like the
+ * paper's hardware.
  */
 
 #ifndef FSCACHE_RANKING_COARSE_TS_LRU_RANKING_HH
 #define FSCACHE_RANKING_COARSE_TS_LRU_RANKING_HH
 
+#include <span>
 #include <vector>
 
-#include "ranking/treap_ranking_base.hh"
+#include "ranking/recency_ranking_base.hh"
 
 namespace fscache
 {
@@ -27,7 +29,7 @@ namespace fscache
 class TagStore;
 
 /** See file comment. */
-class CoarseTsLruRanking : public TreapRankingBase
+class CoarseTsLruRanking : public RecencyRankingBase
 {
   public:
     /**
@@ -46,6 +48,14 @@ class CoarseTsLruRanking : public TreapRankingBase
     void onRelocate(LineId from, LineId to) override;
 
     double schemeFutility(LineId id) const override;
+
+    /**
+     * Batched estimate straight off the ts_/parts_ arrays: the
+     * coarse estimate never reads the exact-order structure, so
+     * this is one plain array read per candidate.
+     */
+    void schemeFutilityMany(std::span<const LineId> ids,
+                            double *out) const override;
 
     std::string name() const override { return "coarse-ts-lru"; }
 
@@ -79,9 +89,6 @@ class CoarseTsLruRanking : public TreapRankingBase
     std::uint32_t tsMask_;
     std::vector<std::uint16_t> ts_;
     std::vector<PartState> parts_;
-
-    /** Exact-recency shadow clock feeding the stats treap. */
-    std::uint64_t clockShadow_ = 0;
 };
 
 } // namespace fscache

@@ -6,30 +6,32 @@
 #ifndef FSCACHE_RANKING_EXACT_LRU_RANKING_HH
 #define FSCACHE_RANKING_EXACT_LRU_RANKING_HH
 
-#include "ranking/treap_ranking_base.hh"
+#include <span>
+
+#include "ranking/recency_ranking_base.hh"
 
 namespace fscache
 {
 
 /** Exact (full-precision) LRU. schemeFutility == exactFutility. */
-class ExactLruRanking : public TreapRankingBase
+class ExactLruRanking : public RecencyRankingBase
 {
   public:
     explicit ExactLruRanking(LineId num_lines)
-        : TreapRankingBase(num_lines)
+        : RecencyRankingBase(num_lines)
     {
     }
 
     void
     onInstall(LineId id, PartId part, AccessTime) override
     {
-        placeNewest(id, part, ++clock_);
+        placeNewest(id, part);
     }
 
     void
     onHit(LineId id, AccessTime) override
     {
-        reKeyNewest(id, ++clock_);
+        touchNewest(id);
     }
 
     double
@@ -40,10 +42,14 @@ class ExactLruRanking : public TreapRankingBase
 
     bool schemeFutilityIsExact() const override { return true; }
 
-    std::string name() const override { return "lru"; }
+    void
+    schemeFutilityMany(std::span<const LineId> ids,
+                       double *out) const override
+    {
+        exactFutilityManyImpl(ids, out);
+    }
 
-  private:
-    std::uint64_t clock_ = 0;
+    std::string name() const override { return "lru"; }
 };
 
 } // namespace fscache

@@ -18,6 +18,8 @@
 #ifndef FSCACHE_RANKING_FUTILITY_RANKING_HH
 #define FSCACHE_RANKING_FUTILITY_RANKING_HH
 
+#include <cstddef>
+#include <span>
 #include <string>
 
 #include "common/types.hh"
@@ -55,6 +57,22 @@ class FutilityRanking
 
     /** Scheme-visible futility estimate in [0, 1]. */
     virtual double schemeFutility(LineId id) const = 0;
+
+    /**
+     * Batched schemeFutility(): out[i] = schemeFutility(ids[i]).
+     * The miss path queries all candidates through this one virtual
+     * call instead of one per candidate. The default preserves the
+     * serial loop's per-id query order — rankings with stateful
+     * queries (random's per-call RNG draw) depend on it; rankings
+     * backed by plain arrays or a shared order structure override
+     * it to amortize the per-query overhead.
+     */
+    virtual void
+    schemeFutilityMany(std::span<const LineId> ids, double *out) const
+    {
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            out[i] = schemeFutility(ids[i]);
+    }
 
     /** Exact normalized futility rank in (0, 1]. */
     virtual double exactFutility(LineId id) const = 0;

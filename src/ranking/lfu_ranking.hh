@@ -10,6 +10,8 @@
 
 #include <vector>
 
+#include <span>
+
 #include "ranking/treap_ranking_base.hh"
 
 namespace fscache
@@ -57,6 +59,13 @@ class LfuRanking : public TreapRankingBase
     }
 
     bool schemeFutilityIsExact() const override { return true; }
+
+    void
+    schemeFutilityMany(std::span<const LineId> ids,
+                       double *out) const override
+    {
+        exactFutilityManyImpl(ids, out);
+    }
 
     std::string name() const override { return "lfu"; }
 

@@ -10,6 +10,8 @@
 #ifndef FSCACHE_RANKING_OPT_RANKING_HH
 #define FSCACHE_RANKING_OPT_RANKING_HH
 
+#include <span>
+
 #include "ranking/treap_ranking_base.hh"
 
 namespace fscache
@@ -43,6 +45,13 @@ class OptRanking : public TreapRankingBase
     }
 
     bool schemeFutilityIsExact() const override { return true; }
+
+    void
+    schemeFutilityMany(std::span<const LineId> ids,
+                       double *out) const override
+    {
+        exactFutilityManyImpl(ids, out);
+    }
 
     std::string name() const override { return "opt"; }
 

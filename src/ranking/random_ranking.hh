@@ -34,13 +34,16 @@ class RandomRanking : public TreapRankingBase
     void
     onInstall(LineId id, PartId part, AccessTime) override
     {
-        place(id, part, ++clock_);
+        // The primary is a strictly increasing clock drawn fresh
+        // here, so this ranking qualifies for the max-key treap
+        // fast paths and the deferred re-key ring.
+        placeNewest(id, part, ++clock_);
     }
 
     void
     onHit(LineId id, AccessTime) override
     {
-        reKey(id, ++clock_);
+        reKeyNewest(id, ++clock_);
     }
 
     double

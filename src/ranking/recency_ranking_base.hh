@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared machinery for rankings whose exact per-partition order IS
+ * recency — every install and every hit moves the line to the
+ * newest end, nothing ever re-keys to the middle (exact LRU, the
+ * coarse-timestamp LRU's exact shadow order).
+ *
+ * That monotonicity admits a much cheaper order structure than the
+ * general order-statistic treap (ranking/treap_ranking_base.hh):
+ * lines are laid out on an append-only recency-stamp axis and a
+ * per-partition Fenwick tree (common/fenwick.hh) counts resident
+ * lines per stamp prefix. Exact rank = partition size minus the
+ * count of older residents; the least-recent line is the first
+ * marked stamp. Every operation is O(log capacity) over contiguous
+ * arrays — no node allocation, no pointer chasing, no rebalancing.
+ *
+ * Byte-identity with the treap-backed order it replaces: stamps are
+ * assigned in call order, exactly the order of the strictly
+ * increasing usefulness clocks the treap keys encoded, so every
+ * rank is the identical integer and every futility the identical
+ * double. (Rankings with non-monotone keys — LFU, OPT, RRIP — stay
+ * on TreapRankingBase.)
+ */
+
+#ifndef FSCACHE_RANKING_RECENCY_RANKING_BASE_HH
+#define FSCACHE_RANKING_RECENCY_RANKING_BASE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fenwick.hh"
+#include "ranking/futility_ranking.hh"
+
+namespace fscache
+{
+
+/** See file comment. */
+class RecencyRankingBase : public FutilityRanking
+{
+  public:
+    explicit RecencyRankingBase(LineId num_lines);
+
+    void onEvict(LineId id) override;
+    void onRelocate(LineId from, LineId to) override;
+    void onRetag(LineId id, PartId new_part) override;
+
+    double exactFutility(LineId id) const override;
+    LineId worstIn(PartId part) const override;
+    std::uint32_t partLines(PartId part) const override;
+    PartId partOf(LineId id) const override { return partOf_[id]; }
+    std::string auditInvariants() const override;
+    bool corruptRankNodeForFaultInjection() override;
+
+  protected:
+    /** Insert a not-present line as its partition's newest. */
+    void placeNewest(LineId id, PartId part);
+
+    /** Move a present line to its partition's newest (hit path). */
+    void touchNewest(LineId id);
+
+    /** Remove a present line. */
+    void remove(LineId id);
+
+    /**
+     * Batched exactFutility() for rankings whose scheme futility IS
+     * the exact rank (exact LRU): direct prefix-count queries.
+     */
+    void exactFutilityManyImpl(std::span<const LineId> ids,
+                               double *out) const;
+
+    bool present(LineId id) const { return present_[id] != 0; }
+
+  private:
+    /** Next free recency stamp, renumbering when the axis is full. */
+    std::uint32_t allocStamp();
+
+    /**
+     * Compact the stamp axis: live lines keep their relative order
+     * but move to stamps 0..live-1, and the partition Fenwicks are
+     * rebuilt. Runs once per ~capacity_ - num_lines stamp
+     * allocations, so its O(capacity_) cost amortizes to O(1) per
+     * touch; it allocates nothing.
+     */
+    void renumber();
+
+    /** Grow the per-partition structures to cover `part`. */
+    void ensurePart(PartId part);
+
+    /** Stamp-axis length; power of two >= 2x the line count, so at
+     *  least half of every renumber interval is fresh stamps. */
+    std::uint32_t capacity_;
+    std::uint32_t stampNext_ = 0;
+    /** Line at each stamp, kInvalidLine where empty. Inverse of
+     *  stampOf_ over present lines. */
+    std::vector<LineId> lineAt_;
+    std::vector<std::uint32_t> stampOf_;
+    /** Per-partition mark-per-resident Fenwick over the stamp axis. */
+    std::vector<FenwickTree> fens_;
+    /** Per-partition resident-line counts. Kept separate from the
+     *  Fenwick totals so the corruption fault hook has an
+     *  independently-auditable counter to damage (mirroring the
+     *  treap's root-size arm). */
+    std::vector<std::uint32_t> size_;
+    std::vector<PartId> partOf_;
+    /**
+     * Byte- (not bit-) backed presence flags: every hot operation
+     * tests this once per access, and vector<bool>'s masked bit
+     * loads cost more than the 8x memory on these hot checks.
+     */
+    std::vector<std::uint8_t> present_;
+};
+
+} // namespace fscache
+
+#endif // FSCACHE_RANKING_RECENCY_RANKING_BASE_HH

@@ -18,6 +18,7 @@
 #ifndef FSCACHE_RANKING_RRIP_RANKING_HH
 #define FSCACHE_RANKING_RRIP_RANKING_HH
 
+#include <span>
 #include <vector>
 
 #include "ranking/treap_ranking_base.hh"
@@ -79,6 +80,17 @@ class RripRanking : public TreapRankingBase
                    : 0.0;
         return (static_cast<double>(rrpv_[id]) + tie) /
                (rrpvMax_ + 1.0);
+    }
+
+    /** Batched estimate off the rrpv_/lastTouch_ arrays; the
+     *  estimate never reads the exact-order treap, so no
+     *  pending-re-key flush is needed here. */
+    void
+    schemeFutilityMany(std::span<const LineId> ids,
+                       double *out) const override
+    {
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            out[i] = RripRanking::schemeFutility(ids[i]);
     }
 
     std::uint32_t rrpv(LineId id) const { return rrpv_[id]; }

@@ -4,14 +4,18 @@
  * order: an order-statistic treap per partition keyed by a
  * "usefulness" value (larger = more useful), plus per-line metadata.
  *
- * Concrete rankings derive and translate their policy (recency,
- * frequency, next use) into the primary key.
+ * Concrete rankings derive and translate their policy (frequency,
+ * next use, RRIP age) into the primary key. Rankings whose order is
+ * pure recency — every update moves the line to the newest end —
+ * use the cheaper Fenwick-backed RecencyRankingBase instead
+ * (ranking/recency_ranking_base.hh).
  */
 
 #ifndef FSCACHE_RANKING_TREAP_RANKING_BASE_HH
 #define FSCACHE_RANKING_TREAP_RANKING_BASE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/order_stat_treap.hh"
@@ -31,6 +35,8 @@ class TreapRankingBase : public FutilityRanking
     void onRetag(LineId id, PartId new_part) override;
 
     double exactFutility(LineId id) const override;
+    void schemeFutilityMany(std::span<const LineId> ids,
+                            double *out) const override;
     LineId worstIn(PartId part) const override;
     std::uint32_t partLines(PartId part) const override;
     PartId partOf(LineId id) const override { return partOf_[id]; }
@@ -82,16 +88,60 @@ class TreapRankingBase : public FutilityRanking
     /** Remove a present line. */
     void remove(LineId id);
 
+    /**
+     * Batched exactFutility() for rankings whose scheme futility IS
+     * the exact rank (LFU/exact-LRU/OPT): one pending flush, then
+     * direct rank queries.
+     */
+    void exactFutilityManyImpl(std::span<const LineId> ids,
+                               double *out) const;
+
     bool present(LineId id) const { return present_[id] != 0; }
     std::uint64_t primaryOf(LineId id) const
     { return keyOf_[id].primary; }
 
   private:
+    /** One deferred hit-path re-key (reKeyNewest). line ==
+     *  kInvalidLine marks an entry superseded by a later re-hit. */
+    struct PendingReKey
+    {
+        LineId line;
+        std::uint64_t primary;
+    };
+
+    static constexpr std::uint32_t kNoPending = 0xffffffffu;
+    /** Ring capacity: big enough to swallow the hit runs between
+     *  misses, small enough that a flush stays cache-resident. */
+    static constexpr std::size_t kPendingCap = 64;
+
+    /**
+     * Apply the deferred re-keys in ring order. Called before any
+     * operation that observes or restructures the treaps; partLines
+     * is the one exception (re-keys never change sizes), which
+     * keeps the FS_AUDIT=cheap occupancy sums flush-free. const:
+     * flushing only materializes already-committed key updates, so
+     * it is logically state-preserving (see .cc). The empty check
+     * stays inline: most flush points find nothing pending, and the
+     * call overhead itself showed up in miss-heavy profiles.
+     */
+    void
+    flushPending() const
+    {
+        if (!pending_.empty())
+            flushPendingSlow();
+    }
+
+    void flushPendingSlow() const;
+
     OrderStatTreap<Key> &treapFor(PartId part);
     const OrderStatTreap<Key> *treapFor(PartId part) const;
 
     std::vector<OrderStatTreap<Key>> treaps_;
     std::vector<Key> keyOf_;
+    std::vector<PendingReKey> pending_;
+    /** Per-line index into pending_, or kNoPending. Lets a re-hit
+     *  dead-mark its older entry so only the final key is applied. */
+    std::vector<std::uint32_t> pendingSlot_;
     std::vector<PartId> partOf_;
     /**
      * Byte- (not bit-) backed presence flags: reKey/place/remove

@@ -1,5 +1,7 @@
 #include "sim/partitioned_cache.hh"
 
+#include <span>
+
 #include "check/audit.hh"
 #include "check/breadcrumb.hh"
 #include "check/invariants.hh"
@@ -35,6 +37,21 @@ constexpr std::uint64_t kAuditStrideMask = 0x3ff; // every 1024
  * micro_sweep_throughput workloads; see docs/PERF.md.
  */
 constexpr std::size_t kPrefetchDistance = 8;
+
+/**
+ * Hit-arm outcome: shared by access() and both accessBatch()
+ * variants so the three hit arms cannot drift.
+ */
+inline AccessOutcome
+hitOutcome()
+{
+    AccessOutcome out;
+    out.hit = true;
+    out.evicted = false;
+    out.victimOwner = kInvalidPart;
+    out.victimFutility = 0.0;
+    return out;
+}
 
 } // namespace
 
@@ -112,6 +129,9 @@ PartitionedCache::buildCandidates(Addr addr)
     if (array_->fullyAssociative()) {
         // Worst line per partition (incl. a possible pseudo-
         // partition used by schemes, e.g. Vantage's unmanaged).
+        // worstIn() draws no RNG and is const, so collecting the
+        // lines first and batching the futility queries yields the
+        // same values the old interleaved loop produced.
         for (std::uint32_t p = 0; p <= numParts_; ++p) {
             LineId worst = ranking_->worstIn(static_cast<PartId>(p));
             if (worst == kInvalidLine)
@@ -119,27 +139,59 @@ PartitionedCache::buildCandidates(Addr addr)
             // fs-analyze: allow(hot-path-alloc) candBuf_ is the
             // reused candidate buffer; capacity saturates at the
             // associativity (witness: tests/test_hot_alloc.cc).
-            candBuf_.push_back({worst, tags.line(worst).part,
-                                ranking_->schemeFutility(worst)});
+            candBuf_.push(worst, tags.line(worst).part, 0.0);
         }
+        ranking_->schemeFutilityMany(
+            std::span<const LineId>(candBuf_.line),
+            candBuf_.futility.data());
         return;
     }
 
     // slotBuf_ already holds this address's candidates from the
     // free-slot probe in access(); re-collecting would repeat the
-    // array walk (zcache) for nothing.
+    // array walk (zcache) for nothing. Futilities are filled by
+    // one batched ranking query over the valid slots — in slot
+    // order, i.e. exactly the per-slot query order (and RNG draw
+    // order) of a serial walk; invalid slots keep the -1.0
+    // sentinel and are never queried.
+    bool all_valid = true;
     for (LineId slot : slotBuf_) {
         const Line &l = tags.line(slot);
         if (l.valid) {
             // fs-analyze: allow(hot-path-alloc) reused candidate
             // buffer, capacity-bounded (see above).
-            candBuf_.push_back(
-                {slot, l.part, ranking_->schemeFutility(slot)});
+            candBuf_.push(slot, l.part, 0.0);
         } else {
             // fs-analyze: allow(hot-path-alloc) see above.
-            candBuf_.push_back({slot, kInvalidPart, -1.0});
+            candBuf_.push(slot, kInvalidPart, -1.0);
+            all_valid = false;
         }
     }
+    if (all_valid) [[likely]] {
+        // Common steady-state case: query in place.
+        ranking_->schemeFutilityMany(
+            std::span<const LineId>(candBuf_.line),
+            candBuf_.futility.data());
+        return;
+    }
+    validIdx_.clear();
+    lineScratch_.clear();
+    const std::size_t n = candBuf_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (candBuf_.part[i] == kInvalidPart)
+            continue;
+        // fs-analyze: allow(hot-path-alloc) reused gather scratch,
+        // capacity-bounded by the associativity.
+        validIdx_.push_back(static_cast<std::uint32_t>(i));
+        // fs-analyze: allow(hot-path-alloc) see above.
+        lineScratch_.push_back(candBuf_.line[i]);
+    }
+    // fs-analyze: allow(hot-path-alloc) see above.
+    futScratch_.resize(lineScratch_.size());
+    ranking_->schemeFutilityMany(
+        std::span<const LineId>(lineScratch_), futScratch_.data());
+    for (std::size_t j = 0; j < validIdx_.size(); ++j)
+        candBuf_.futility[validIdx_[j]] = futScratch_[j];
 }
 
 AccessOutcome
@@ -161,8 +213,7 @@ PartitionedCache::access(PartId part, Addr addr, AccessTime next_use)
         // the fall-through arm.
         ranking_->onHit(id, next_use);
         ++stats_[part].hits;
-        AccessOutcome out;
-        out.hit = true;
+        AccessOutcome out = hitOutcome();
         if (selfCheck_) [[unlikely]]
             selfCheckHit(id, part, addr, next_use);
         return out;
@@ -198,10 +249,7 @@ PartitionedCache::accessBatch(AccessBatch &batch)
             if (id != kInvalidLine) [[likely]] {
                 ranking_->onHit(id, batch.nextUse[i]);
                 ++stats_[part].hits;
-                batch.outcome[i].hit = true;
-                batch.outcome[i].evicted = false;
-                batch.outcome[i].victimOwner = kInvalidPart;
-                batch.outcome[i].victimFutility = 0.0;
+                batch.outcome[i] = hitOutcome();
                 continue;
             }
             batch.outcome[i] =
@@ -225,10 +273,7 @@ PartitionedCache::accessBatch(AccessBatch &batch)
         if (id != kInvalidLine) {
             ranking_->onHit(id, batch.nextUse[i]);
             ++stats_[part].hits;
-            batch.outcome[i].hit = true;
-            batch.outcome[i].evicted = false;
-            batch.outcome[i].victimOwner = kInvalidPart;
-            batch.outcome[i].victimFutility = 0.0;
+            batch.outcome[i] = hitOutcome();
             selfCheckHit(id, part, addr, batch.nextUse[i]);
             continue;
         }
@@ -265,7 +310,7 @@ PartitionedCache::accessMiss(PartId part, Addr addr,
         fs_assert(!candBuf_.empty(), "no replacement candidates");
         std::uint32_t idx = scheme_->selectVictim(candBuf_, part);
         fs_assert(idx < candBuf_.size(), "victim index out of range");
-        LineId victim = candBuf_[idx].line;
+        LineId victim = candBuf_.line[idx];
         fs_assert(tags.line(victim).valid, "scheme chose an invalid "
                   "slot as victim");
         if (shadow_ != nullptr) [[unlikely]]
@@ -279,7 +324,7 @@ PartitionedCache::accessMiss(PartId part, Addr addr,
         // rewrites it *to* exactFutility), so the second rank query
         // per eviction is skipped.
         double fut = schemeFutilityExact_
-                         ? candBuf_[idx].futility
+                         ? candBuf_.futility[idx]
                          : ranking_->exactFutility(victim);
         if (owner < numParts_) {
             assocDist_[owner].recordEviction(fut);

@@ -206,7 +206,15 @@ class PartitionedCache : public PartitionOps
     std::vector<DeviationTracker> deviation_;
 
     std::vector<LineId> slotBuf_;
-    CandidateVec candBuf_;
+    CandidateSoA candBuf_;
+    /** buildCandidates() scratch for batching the ranking queries
+     *  when some candidate slots are invalid: positions of the
+     *  valid slots in candBuf_, their lines, and the batched
+     *  futilities to scatter back. Reused; capacity saturates at
+     *  the associativity. */
+    std::vector<std::uint32_t> validIdx_;
+    std::vector<LineId> lineScratch_;
+    std::vector<double> futScratch_;
     /** Cached ranking_->schemeFutilityIsExact() (miss-path reuse). */
     bool schemeFutilityExact_ = false;
     std::uint32_t devSampleInterval_ = 1;

@@ -19,11 +19,11 @@ namespace
 {
 
 std::string
-mismatch(const char *rule, const CandidateVec &cands,
+mismatch(const char *rule, const CandidateSoA &cands,
          std::uint32_t chosen, std::uint32_t want)
 {
-    const Candidate &w = cands[want];
-    const Candidate &c = cands[chosen];
+    const Candidate w = cands.at(want);
+    const Candidate c = cands.at(chosen);
     return strprintf(
         "%s argmax is candidate %u (line %u, part %u, futility "
         "%.17g) but the scheme chose candidate %u (line %u, part "
@@ -33,13 +33,16 @@ mismatch(const char *rule, const CandidateVec &cands,
         c.futility);
 }
 
-/** Unpartitioned: plain futility argmax, first index on ties. */
+/** Unpartitioned: plain futility argmax, first index on ties.
+ *  All replay loops here are deliberately scalar — an independent
+ *  replica of the selection rule, never the SIMD kernels the
+ *  schemes themselves run. */
 std::uint32_t
-replayUnpartitioned(const CandidateVec &cands)
+replayUnpartitioned(const CandidateSoA &cands)
 {
     std::uint32_t best = 0;
     for (std::uint32_t i = 1; i < cands.size(); ++i)
-        if (cands[i].futility > cands[best].futility)
+        if (cands.futility[i] > cands.futility[best])
             best = i;
     return best;
 }
@@ -53,15 +56,15 @@ replayUnpartitioned(const CandidateVec &cands)
  */
 template <typename FactorFn>
 std::uint32_t
-replayScaled(const CandidateVec &cands, std::uint32_t num_parts,
+replayScaled(const CandidateSoA &cands, std::uint32_t num_parts,
              FactorFn factor)
 {
     std::uint32_t best = 0;
     double best_scaled = -1.0;
     for (std::uint32_t i = 0; i < cands.size(); ++i) {
-        if (cands[i].part >= num_parts)
+        if (cands.part[i] >= num_parts)
             continue;
-        double scaled = cands[i].futility * factor(cands[i].part);
+        double scaled = cands.futility[i] * factor(cands.part[i]);
         if (scaled > best_scaled) {
             best_scaled = scaled;
             best = i;
@@ -75,27 +78,28 @@ replayScaled(const CandidateVec &cands, std::uint32_t num_parts,
 std::uint32_t
 replayPartitioningFirst(const PartitionScheme &scheme,
                         const PartitionOps &ops,
-                        const CandidateVec &cands)
+                        const CandidateSoA &cands)
 {
     double max_over = -std::numeric_limits<double>::infinity();
     PartId chosen_part = kInvalidPart;
-    for (const Candidate &c : cands) {
-        if (c.part == kInvalidPart)
+    for (std::uint32_t i = 0; i < cands.size(); ++i) {
+        PartId p = cands.part[i];
+        if (p == kInvalidPart)
             continue;
-        double over = static_cast<double>(ops.actualSize(c.part)) -
-                      static_cast<double>(scheme.target(c.part));
+        double over = static_cast<double>(ops.actualSize(p)) -
+                      static_cast<double>(scheme.target(p));
         if (over > max_over) {
             max_over = over;
-            chosen_part = c.part;
+            chosen_part = p;
         }
     }
     std::uint32_t best = 0;
     double best_fut = -1.0;
     for (std::uint32_t i = 0; i < cands.size(); ++i) {
-        if (cands[i].part != chosen_part)
+        if (cands.part[i] != chosen_part)
             continue;
-        if (cands[i].futility > best_fut) {
-            best_fut = cands[i].futility;
+        if (cands.futility[i] > best_fut) {
+            best_fut = cands.futility[i];
             best = i;
         }
     }
@@ -110,7 +114,7 @@ replayPartitioningFirst(const PartitionScheme &scheme,
  * the public wayOwner() view.
  */
 std::string
-replayWayPart(const WayPartitionScheme &wp, const CandidateVec &cands,
+replayWayPart(const WayPartitionScheme &wp, const CandidateSoA &cands,
               std::uint32_t chosen, PartId incoming)
 {
     if (cands.size() != wp.ways()) {
@@ -123,8 +127,8 @@ replayWayPart(const WayPartitionScheme &wp, const CandidateVec &cands,
     for (std::uint32_t i = 0; i < cands.size(); ++i) {
         if (wp.wayOwner(i) != incoming)
             continue;
-        if (cands[i].futility > best_fut) {
-            best_fut = cands[i].futility;
+        if (cands.futility[i] > best_fut) {
+            best_fut = cands.futility[i];
             best = i;
         }
     }
@@ -143,7 +147,7 @@ replayWayPart(const WayPartitionScheme &wp, const CandidateVec &cands,
 
 std::string
 verifyVictimChoice(const PartitionScheme &scheme,
-                   const PartitionOps &ops, const CandidateVec &cands,
+                   const PartitionOps &ops, const CandidateSoA &cands,
                    std::uint32_t chosen, std::uint32_t num_parts,
                    PartId incoming)
 {

@@ -52,7 +52,7 @@ namespace check
  */
 std::string verifyVictimChoice(const PartitionScheme &scheme,
                                const PartitionOps &ops,
-                               const CandidateVec &cands,
+                               const CandidateSoA &cands,
                                std::uint32_t chosen,
                                std::uint32_t num_parts,
                                PartId incoming);

@@ -12,10 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "check/audit.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
 #include "sim/access_batch.hh"
 #include "sim/experiment.hh"
 #include "trace/workload.hh"
@@ -141,6 +143,48 @@ TEST_F(BatchIdentity, MatchesSerialAtRepresentativeBatchSizes)
         EXPECT_EQ(checked, kStream);
         expectSameStats(*serial, *batched);
     }
+}
+
+/** Scalar-vs-SIMD identity at the pipeline level: replaying the
+ *  same stream with the kernels forced to the scalar reference must
+ *  produce exactly the outcomes of the default (vectorized)
+ *  backend. This is the end-to-end face of the per-kernel property
+ *  tests in test_simd_kernels.cc — a victim choice moved by the
+ *  vector path would surface here as an outcome or stats diff. */
+TEST_F(BatchIdentity, ScalarBackendMatchesVectorizedBackend)
+{
+    constexpr std::size_t kStream = 10000;
+    std::vector<Rec> recs = makeStream(kStream);
+    const std::string def = simd::backendName();
+
+    auto vec = buildCache(batchSpec());
+    vec->setTargets({128, 128});
+    std::vector<AccessOutcome> want;
+    want.reserve(kStream);
+    for (const Rec &r : recs)
+        want.push_back(vec->access(r.part, r.addr));
+
+    ASSERT_TRUE(simd::setBackend("scalar"));
+    auto scal = buildCache(batchSpec());
+    scal->setTargets({128, 128});
+    AccessBatch batch;
+    batch.reserve(kStream);
+    for (const Rec &r : recs)
+        batch.push(r.part, r.addr);
+    scal->accessBatch(batch);
+    ASSERT_TRUE(simd::setBackend(def.c_str()));
+
+    ASSERT_EQ(batch.outcome.size(), kStream);
+    for (std::size_t i = 0; i < kStream; ++i) {
+        ASSERT_EQ(batch.outcome[i].hit, want[i].hit) << i;
+        ASSERT_EQ(batch.outcome[i].evicted, want[i].evicted) << i;
+        ASSERT_EQ(batch.outcome[i].victimOwner, want[i].victimOwner)
+            << i;
+        ASSERT_EQ(batch.outcome[i].victimFutility,
+                  want[i].victimFutility)
+            << i;
+    }
+    expectSameStats(*vec, *scal);
 }
 
 TEST_F(BatchIdentity, EmptyBatchIsANoOp)

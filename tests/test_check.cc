@@ -451,9 +451,10 @@ TEST_F(CorruptionInjection, UnconsumedArmDoesNotLeakAcrossCells)
     EXPECT_TRUE(report.allOk()) << report.manifest();
 }
 
-/** The ranking-treap arm: a silent subtree-size bump is navigation-
- *  safe (descents read child sizes, never the root's), so only the
- *  occupancy-sum audit can see it — size() IS the root's size. */
+/** The ranking-order arm: a silent size bump (the recency base's
+ *  resident counter; for treap-backed rankings, the root's subtree
+ *  size) is navigation-safe — descents and worstIn never read the
+ *  damaged counter — so only the audits can see it. */
 TEST_F(CorruptionInjection, RankTreapCorruptionDetectedByAudits)
 {
     check::setAuditLevelForTest(check::AuditLevel::Paranoid);
@@ -465,11 +466,11 @@ TEST_F(CorruptionInjection, RankTreapCorruptionDetectedByAudits)
                                         cache->ranking(),
                                         cache->numPartitions()),
               "");
-    // The damage sits in partition 0's treap (the first non-empty
-    // one) and the next mutation of that treap would recompute the
-    // root size from its children, healing it. Touch the *other*
-    // partition so the cross-structure sum audit sees the drift
-    // first — exactly how the stride audits catch it in a live run.
+    // The damage sits in partition 0's counter (the first non-empty
+    // one). Touch the *other* partition so the cross-structure sum
+    // audit sees the drift before partition 0's own bookkeeping is
+    // exercised — exactly how the stride audits catch it in a live
+    // run.
     EXPECT_THROW(cache->access(1, 2 * 100000 + 1),
                  StateCorruptionError);
 }

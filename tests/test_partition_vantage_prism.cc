@@ -50,8 +50,8 @@ class MockOps : public PartitionOps
     void
     loadFutilities(const CandidateVec &cands)
     {
-        for (const Candidate &c : cands)
-            fut[c.line] = c.futility;
+        for (std::size_t i = 0; i < cands.size(); ++i)
+            fut[cands.line[i]] = cands.futility[i];
     }
 
     std::vector<std::uint32_t> sizes_;

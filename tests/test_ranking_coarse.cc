@@ -118,6 +118,55 @@ TEST_F(CoarseTsFixture, CoarseAgreesWithExactOnOldVsNew)
     EXPECT_GT(old_fut, new_fut);
 }
 
+TEST_F(CoarseTsFixture, HitRunsLeaveExactSerialOrder)
+{
+    // A long hit run — with re-hits of the same lines, enough
+    // touches to renumber the recency base's stamp axis
+    // (ranking/recency_ranking_base.hh) mid-run — must leave
+    // exactly the state of a twin whose order is observed after
+    // every hit (queries interleaved with updates must never
+    // perturb the order).
+    TagStore twin_tags(256);
+    CoarseTsLruRanking twin(256, &twin_tags);
+    for (LineId i = 0; i < 100; ++i) {
+        install(i, 0);
+        twin_tags.install(i, 0x1000 + i, 0);
+        twin.onInstall(i, 0, kNeverUsed);
+    }
+    LineId id = 17;
+    for (int i = 0; i < 300; ++i) {
+        id = (id * 31 + 7) % 100; // includes repeats
+        rank_.onHit(id, kNeverUsed);
+        twin.onHit(id, kNeverUsed);
+        (void)twin.exactFutility(id); // observe mid-run
+    }
+    EXPECT_EQ(rank_.worstIn(0), twin.worstIn(0));
+    for (LineId i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(rank_.exactFutility(i),
+                         twin.exactFutility(i))
+            << "line " << i;
+}
+
+TEST_F(CoarseTsFixture, SchemeFutilityManyMatchesSerialQueries)
+{
+    // The batched entry point must return exactly the per-id serial
+    // answers — including right after a run of hits (the coarse
+    // override reads only the ts_ array, never the exact-order
+    // structure; the values must not differ).
+    for (LineId i = 0; i < 64; ++i)
+        install(i, 0);
+    for (LineId i = 0; i < 32; ++i)
+        rank_.onHit(i, kNeverUsed);
+    std::vector<LineId> ids;
+    for (LineId i = 0; i < 64; i += 3)
+        ids.push_back(i);
+    std::vector<double> batched(ids.size(), -2.0);
+    rank_.schemeFutilityMany(ids, batched.data());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        EXPECT_DOUBLE_EQ(batched[i], rank_.schemeFutility(ids[i]))
+            << "id " << ids[i];
+}
+
 TEST_F(CoarseTsFixture, RetagKeepsLineRanked)
 {
     install(0, 0);
