@@ -134,7 +134,10 @@ ArgParser::parse(int argc, const char *const *argv)
         if (opt.kind == Kind::Flag) {
             if (has_value)
                 fatal("flag '--%s' takes no value", arg.c_str());
-            opt.value = "1";
+            // assign() instead of operator=(const char*): GCC 12's
+            // -O3 inliner flags the latter's internal memcpy with a
+            // spurious -Wrestrict overlap warning here.
+            opt.value.assign(1, '1');
             opt.given = true;
             continue;
         }

@@ -130,10 +130,14 @@ FaultInjector::parse(const std::string &spec)
             c.kind = Kind::Segv;
         } else if (action == "spin") {
             c.kind = Kind::Spin;
+        } else if (action == "netdrop") {
+            c.kind = Kind::NetDrop;
+        } else if (action == "stall") {
+            c.kind = Kind::Stall;
         } else {
             fatal("FS_FAULTS \"%s\": unknown action \"%s\" (want "
                   "throw, hang, transient, corrupt, corrupt-treap, "
-                  "corrupt-occ, segv, or spin)",
+                  "corrupt-occ, segv, spin, netdrop, or stall)",
                   spec.c_str(), action.c_str());
         }
         if (c.kind != Kind::Transient && star != std::string::npos)
@@ -185,6 +189,23 @@ FaultInjector::installForTest(const std::string &spec)
     // worker thread from an earlier sweep could still hold it.
     g_active.store(fi, std::memory_order_release);
     g_initialized.store(true, std::memory_order_release);
+}
+
+FaultInjector::NetFault
+FaultInjector::netFaultForCell(std::size_t cell)
+{
+    const FaultInjector *fi = active();
+    if (fi == nullptr)
+        return NetFault::None;
+    for (const Clause &c : fi->clauses_) {
+        if (c.byRate || c.cell != cell)
+            continue;
+        if (c.kind == Kind::NetDrop)
+            return NetFault::Drop;
+        if (c.kind == Kind::Stall)
+            return NetFault::Stall;
+    }
+    return NetFault::None;
 }
 
 FaultInjector::CorruptTarget
@@ -267,6 +288,13 @@ FaultInjector::fire(std::size_t cell, unsigned attempt) const
             for (;;)
                 sink = sink + 1;
           }
+          case Kind::NetDrop:
+          case Kind::Stall:
+            // Transport-level faults: consumed by the net-farm
+            // agent at lease time (netFaultForCell), never inside a
+            // cell attempt. No-op here so a spec that arms them is
+            // harmless under any other executor.
+            break;
           case Kind::Hang:
             // Cooperative wedge: spins until the watchdog deadline
             // (or an explicit cancel) reaps it. Refuse to hang with

@@ -222,6 +222,24 @@ CheckpointJournal::load()
     }
 }
 
+bool
+CheckpointJournal::compactFile(const std::string &path)
+{
+    {
+        std::ifstream probe(path);
+        if (!probe)
+            return false;
+    }
+    // load() keeps the *last* record per cell (entries_ is keyed by
+    // cell and later lines overwrite) and skips torn lines; one
+    // flush then writes the canonical compact form.
+    CheckpointJournal j(path);
+    j.load();
+    std::lock_guard<std::mutex> g(j.mu_);
+    j.flushLocked();
+    return true;
+}
+
 void
 CheckpointJournal::record(std::size_t cell, const std::string &payload)
 {

@@ -120,6 +120,19 @@ class CheckpointJournal
      */
     void record(std::size_t cell, const std::string &payload);
 
+    /**
+     * Rewrite the JSONL journal at `path` in place, keeping only
+     * the latest record per cell and dropping torn or foreign
+     * lines — record() itself always writes compact files, but a
+     * journal assembled by appends (crash-recovery copies, merged
+     * per-host journals) can carry stale duplicates. Uses the same
+     * atomic write-fsync-rename as record(), and the output is
+     * byte-identical to what record() would have produced from the
+     * surviving entries, so compaction is idempotent. Returns
+     * false when the file cannot be read.
+     */
+    static bool compactFile(const std::string &path);
+
     const std::string &path() const { return path_; }
 
   private:

@@ -15,7 +15,7 @@ SweepRunner::warnNoFarmWithoutCodec()
     static std::atomic<bool> warned{false};
     if (warned.exchange(true))
         return;
-    warn("FS_EXECUTOR=process: this sweep has no cell codec "
+    warn("FS_EXECUTOR=process/net: this sweep has no cell codec "
          "(mapResilient without checkpoint encode/decode); results "
          "cannot cross a process boundary, so it runs on the "
          "thread executor instead");

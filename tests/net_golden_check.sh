@@ -1,0 +1,72 @@
+#!/bin/sh
+# Loopback multi-host golden check: spawn two --fs-agent copies of
+# the simulator, run the coordinator against them under
+# FS_EXECUTOR=net, and require the JSON report to be byte-identical
+# to the committed golden (i.e. to the thread/process executors).
+#
+# Usage: net_golden_check.sh <sim> <golden> <out> <sim args...>
+set -u
+
+SIM=$1
+GOLDEN=$2
+OUT=$3
+shift 3
+
+TMP=$(mktemp -d) || exit 1
+A_PID=
+B_PID=
+cleanup() {
+    # Released agents have already exited; kill is for failure paths.
+    [ -n "$A_PID" ] && kill -9 "$A_PID" 2>/dev/null
+    [ -n "$B_PID" ] && kill -9 "$B_PID" 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# The test environment must not leak coordinator knobs into agents.
+unset FS_EXECUTOR FS_HOSTS FS_AGENT_PORT_FILE 2>/dev/null
+
+FS_AGENT_PORT_FILE="$TMP/a.port" FS_WORKERS=2 \
+    "$SIM" --fs-agent=0 "$@" >"$TMP/a.out" 2>"$TMP/a.log" &
+A_PID=$!
+FS_AGENT_PORT_FILE="$TMP/b.port" FS_WORKERS=2 \
+    "$SIM" --fs-agent=0 "$@" >"$TMP/b.out" 2>"$TMP/b.log" &
+B_PID=$!
+
+wait_port() {
+    i=0
+    while [ "$i" -lt 100 ]; do
+        p=$(cat "$1" 2>/dev/null)
+        if [ -n "$p" ]; then
+            echo "$p"
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    return 1
+}
+
+PA=$(wait_port "$TMP/a.port") || {
+    echo "net_golden_check: agent A never published a port" >&2
+    cat "$TMP/a.log" >&2
+    exit 1
+}
+PB=$(wait_port "$TMP/b.port") || {
+    echo "net_golden_check: agent B never published a port" >&2
+    cat "$TMP/b.log" >&2
+    exit 1
+}
+
+FS_EXECUTOR=net FS_HOSTS="127.0.0.1:$PA,127.0.0.1:$PB" \
+    "$SIM" "$@" >"$OUT" || {
+    echo "net_golden_check: coordinator run failed" >&2
+    exit 1
+}
+
+cmp "$GOLDEN" "$OUT" || {
+    echo "net_golden_check: net-farm output differs from golden" >&2
+    exit 1
+}
+exit 0
